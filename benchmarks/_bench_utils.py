@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark targets."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulation-backed experiments are deterministic and relatively slow, so
+    repeating them only to shrink timing variance would waste minutes per
+    figure; a single round still records the wall-clock cost and, more
+    importantly, lets the benchmark JSON carry the reproduced numbers via
+    ``benchmark.extra_info``.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

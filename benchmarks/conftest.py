@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (see DESIGN.md for the index).  The simulation-backed benchmarks
+run each experiment exactly once per benchmark round (``rounds=1``) -- the
+interesting output is the reproduced numbers, which are attached to
+``benchmark.extra_info`` (and therefore land in the pytest-benchmark JSON) and
+printed when running with ``-s``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

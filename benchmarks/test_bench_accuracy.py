@@ -1,0 +1,20 @@
+"""Section 7.4: modeling accuracy of the profiled linear models."""
+
+from _bench_utils import run_once
+
+from repro.experiments.accuracy import run_modeling_accuracy
+
+
+def test_modeling_accuracy(benchmark):
+    result = run_once(benchmark, run_modeling_accuracy)
+    print("\nModeling accuracy (held-out):")
+    for device, acc in result.compute_accuracy.items():
+        print(f"  compute  {device:<10} {acc:.1%}")
+        benchmark.extra_info[f"compute_{device}"] = round(acc, 4)
+    for link, acc in result.transfer_accuracy.items():
+        print(f"  transfer {link:<16} {acc:.1%}")
+        benchmark.extra_info[f"transfer_{link}"] = round(acc, 4)
+    benchmark.extra_info["paper_compute_accuracy"] = 0.938
+    benchmark.extra_info["paper_transfer_accuracy_range"] = "0.924-0.961"
+    assert result.min_compute >= 0.90
+    assert result.min_transfer >= 0.90

@@ -1,0 +1,20 @@
+"""Fig. 2: decode MLP vs. Attention time of one Llama-70B layer per GPU."""
+
+from _bench_utils import run_once
+
+from repro.experiments.fig02 import mean_gap, run_fig2
+
+
+def test_fig2_module_time_gaps(benchmark):
+    series = run_once(benchmark, run_fig2)
+    print("\nFig.2 normalized decode module time (vs A100):")
+    for device, s in series.items():
+        print(f"  {device:<8} mlp={['%.1f' % v for v in s.norm_mlp_time]} "
+              f"attn={['%.1f' % v for v in s.norm_attention_time]}")
+    for device in ("p100", "rtx3090"):
+        benchmark.extra_info[f"{device}_mean_mlp_gap"] = round(mean_gap(series, device, "mlp"), 2)
+        benchmark.extra_info[f"{device}_mean_attention_gap"] = round(
+            mean_gap(series, device, "attention"), 2
+        )
+    # The paper's takeaway: the P100's MLP gap dwarfs its Attention gap.
+    assert mean_gap(series, "p100", "mlp") > 3 * mean_gap(series, "p100", "attention")

@@ -1,0 +1,21 @@
+"""Fig. 5: head-wise vs. sequence-wise splitting communication overhead."""
+
+from _bench_utils import run_once
+
+from repro.experiments.fig05 import run_fig5
+
+
+def test_fig5_headwise_vs_seqwise(benchmark):
+    result = run_once(benchmark, run_fig5)
+    print("\nFig.5(a) overhead vs offload ratio (ms):")
+    for ratio, head, seq in zip(result.offload_ratios, result.headwise_by_ratio, result.seqwise_by_ratio):
+        print(f"  {ratio:.0%}: head-wise {head*1e3:.3f}  seq-wise {seq*1e3:.3f}")
+    print("Fig.5(b) overhead vs #attention workers (ms):")
+    for k, head, seq in zip(result.num_workers, result.headwise_by_workers, result.seqwise_by_workers):
+        print(f"  {k} workers: head-wise {head*1e3:.3f}  seq-wise {seq*1e3:.3f}")
+    benchmark.extra_info["advantage_at_20pct_offload"] = round(result.headwise_advantage_at(0.2), 2)
+    benchmark.extra_info["advantage_at_4_workers"] = round(result.headwise_advantage_at_workers(4), 2)
+    benchmark.extra_info["paper_advantage_at_20pct_offload"] = 2.68
+    benchmark.extra_info["paper_advantage_at_4_workers"] = 3.55
+    assert result.headwise_advantage_at(0.2) > 1.5
+    assert result.headwise_advantage_at_workers(4) > result.headwise_advantage_at_workers(1)

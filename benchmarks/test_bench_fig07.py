@@ -1,0 +1,19 @@
+"""Fig. 7: linearity of decode Attention time (the basis of the Eq.-3 model)."""
+
+from _bench_utils import run_once
+
+from repro.experiments.fig07 import run_fig7
+
+
+def test_fig7_attention_time_modeling(benchmark):
+    result = run_once(benchmark, run_fig7)
+    print("\nFig.7(a) time vs #requests (fixed heads+cache):",
+          ["%.2f ms" % (t * 1e3) for t in result.time_by_requests])
+    print("Fig.7(b) time vs context length:", ["%.2f ms" % (t * 1e3) for t in result.time_by_context])
+    print("Fig.7(c) time vs #heads:", ["%.2f ms" % (t * 1e3) for t in result.time_by_heads])
+    benchmark.extra_info["request_count_variation"] = round(result.requests_variation(), 4)
+    benchmark.extra_info["context_linearity_r2"] = round(result.context_linearity(), 4)
+    benchmark.extra_info["heads_linearity_r2"] = round(result.heads_linearity(), 4)
+    assert result.requests_variation() < 0.1
+    assert result.context_linearity() > 0.98
+    assert result.heads_linearity() > 0.95

@@ -1,0 +1,16 @@
+"""Fig. 9: normalized end-to-end latency vs. request rate, OPT-30B."""
+
+import pytest
+from _bench_utils import run_once
+
+from _e2e_common import assert_hetis_wins_at_peak, print_panel, record_panel, run_panel
+
+MODEL = "opt-30b"
+
+
+@pytest.mark.parametrize("dataset", ["sharegpt", "humaneval", "longbench"])
+def test_fig9_opt30b_latency_vs_rate(benchmark, dataset):
+    sweeps = run_once(benchmark, run_panel, MODEL, dataset)
+    print_panel(MODEL, dataset, sweeps)
+    record_panel(benchmark, dataset, sweeps)
+    assert_hetis_wins_at_peak(sweeps, dataset)

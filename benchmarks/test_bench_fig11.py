@@ -1,0 +1,23 @@
+"""Fig. 11: maximum available KV-cache space per system, model, and dataset."""
+
+from _bench_utils import run_once
+
+from repro.experiments.cache_space import advantage_over, run_cache_space
+
+
+def test_fig11_available_cache_space(benchmark):
+    cells = run_once(benchmark, run_cache_space)
+    print("\nFig.11 available KV-cache space (GB):")
+    models = sorted({c.model for c in cells})
+    datasets = sorted({c.dataset for c in cells})
+    systems = ("hetis", "hexgen", "splitwise")
+    for model in models:
+        for dataset in datasets:
+            row = {c.system: c.cache_gb for c in cells if c.model == model and c.dataset == dataset}
+            print(f"  {model:<10} {dataset:<10} " + "  ".join(f"{s}={row[s]:.0f}" for s in systems))
+            for s in systems:
+                benchmark.extra_info[f"{model}_{dataset}_{s}_gb"] = round(row[s], 1)
+    # Paper: Hetis provides up to ~1.87x more cache space than the best baseline.
+    for model in models:
+        assert advantage_over(cells, model, "sharegpt", "hexgen") > 1.0
+        assert advantage_over(cells, model, "sharegpt", "splitwise") > 1.0

@@ -1,0 +1,34 @@
+"""Fig. 13: P95 decode-phase MLP and Attention module latency, Llama-70B."""
+
+from _bench_utils import run_once
+
+from repro.experiments.e2e import run_module_latency
+
+NUM_REQUESTS = 48
+
+
+def test_fig13_module_latency(benchmark):
+    out = run_once(benchmark, run_module_latency, "llama-70b",
+                   ("sharegpt", "humaneval", "longbench"), ("hetis", "hexgen", "splitwise"), NUM_REQUESTS)
+    print("\nFig.13 P95 decode module latency (s) for Llama-70B:")
+    for dataset, by_system in out.items():
+        for system, point in by_system.items():
+            print(f"  {dataset:<10} {system:<10} MLP={point.p95_mlp:.4f}  Attention={point.p95_attention:.4f}")
+            benchmark.extra_info[f"{dataset}_{system}_p95_mlp"] = round(point.p95_mlp, 5)
+            benchmark.extra_info[f"{dataset}_{system}_p95_attention"] = round(point.p95_attention, 5)
+    # Paper: Hetis cuts MLP latency (up to 1.29x) and Attention latency (up to 1.49x).
+    # Require the win on the majority of panels (the exact margin is workload noise).
+    attn_wins = sum(
+        1
+        for dataset in out
+        if out[dataset]["hetis"].p95_attention
+        <= min(out[dataset]["hexgen"].p95_attention, out[dataset]["splitwise"].p95_attention) * 1.05
+    )
+    mlp_wins = sum(
+        1
+        for dataset in out
+        if out[dataset]["hetis"].p95_mlp
+        <= min(out[dataset]["hexgen"].p95_mlp, out[dataset]["splitwise"].p95_mlp) * 1.05
+    )
+    assert attn_wins >= 2
+    assert mlp_wins >= 2

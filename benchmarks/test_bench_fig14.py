@@ -1,0 +1,25 @@
+"""Fig. 14: dynamic cache usage and head distribution under time-varying load."""
+
+from _bench_utils import run_once
+
+from repro.experiments.fig14 import run_dynamic_usage
+
+
+def test_fig14_dynamic_resource_usage(benchmark):
+    result = run_once(benchmark, run_dynamic_usage)
+    primary = result.primary_key
+    print("\nFig.14: peak heads and peak cache usage per device")
+    for key in [primary] + result.worker_keys:
+        print(
+            f"  {key:<18} peak_heads={result.peak_heads(key):8.0f} "
+            f"peak_cache={max(result.cache_usage[key]):.2f} "
+            f"first_load_at={result.first_nonzero_time(result.head_counts, key):.0f}s"
+        )
+        benchmark.extra_info[f"{key}_peak_heads"] = result.peak_heads(key)
+        benchmark.extra_info[f"{key}_peak_cache_util"] = round(max(result.cache_usage[key]), 3)
+    # The A100 Primary consistently carries more heads than either 3090 worker,
+    # and the workers only pick up load after the Primary does (delayed offload).
+    assert result.peak_heads(primary) > max(result.peak_heads(k) for k in result.worker_keys)
+    primary_start = result.first_nonzero_time(result.head_counts, primary)
+    for key in result.worker_keys:
+        assert result.first_nonzero_time(result.head_counts, key) >= primary_start

@@ -1,0 +1,31 @@
+"""Fig. 15: benefit of re-dispatching (a) and head-wise cache-management overhead (b)."""
+
+from _bench_utils import run_once
+
+from repro.experiments.fig15 import run_head_management_overhead, run_redispatch_benefit
+
+
+def test_fig15a_redispatch_vs_lifo(benchmark):
+    benefit = run_once(benchmark, run_redispatch_benefit)
+    print(
+        f"\nFig.15(a): mean latency improvement {benefit.mean_improvement:.2f}x, "
+        f"P95 improvement {benefit.p95_improvement:.2f}x (paper: 1.06x / 1.14x)"
+    )
+    benchmark.extra_info["mean_improvement"] = round(benefit.mean_improvement, 3)
+    benchmark.extra_info["p95_improvement"] = round(benefit.p95_improvement, 3)
+    benchmark.extra_info["paper_mean_improvement"] = 1.06
+    benchmark.extra_info["paper_p95_improvement"] = 1.14
+    assert benefit.mean_improvement >= 0.95
+    assert benefit.p95_improvement >= 0.9
+
+
+def test_fig15b_head_management_overhead(benchmark):
+    overhead = run_once(benchmark, run_head_management_overhead)
+    print(
+        f"\nFig.15(b): storage ops x{overhead.storage_op_ratio:.2f}, "
+        f"fetch time x{overhead.fetch_time_ratio:.2f} (paper: x1.13 / x0.74)"
+    )
+    benchmark.extra_info["storage_op_ratio"] = round(overhead.storage_op_ratio, 3)
+    benchmark.extra_info["fetch_time_ratio"] = round(overhead.fetch_time_ratio, 3)
+    assert 1.0 < overhead.storage_op_ratio < 1.3
+    assert overhead.fetch_time_ratio < 1.0

@@ -1,0 +1,34 @@
+"""Fig. 16: robustness to the Theta threshold and to profiling error."""
+
+from _bench_utils import run_once
+
+from repro.experiments.fig16 import run_profiling_error_sensitivity, run_theta_sensitivity
+
+
+def test_fig16a_theta_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        run_theta_sensitivity,
+        "llama-13b",
+        ("sharegpt", "humaneval"),
+        (0.3, 0.5, 0.7),
+        6.0,
+        40,
+    )
+    print("\nFig.16(a) latency ratio vs theta (1.0 = default theta=0.5):")
+    for dataset, ratios in result.latency_ratio.items():
+        print(f"  {dataset:<10} " + "  ".join(f"{t:.1f}:{r:.3f}" for t, r in zip(result.thetas, ratios)))
+        benchmark.extra_info[f"{dataset}_worst_ratio"] = round(result.worst_ratio(dataset), 3)
+        assert result.worst_ratio(dataset) < 1.3
+
+
+def test_fig16b_profiling_error_sensitivity(benchmark):
+    result = run_once(
+        benchmark, run_profiling_error_sensitivity, "llama-13b", "sharegpt", (0.05, 0.10, 0.20), 6.0, 40
+    )
+    print("\nFig.16(b) latency inflation vs profiling error:")
+    for err, infl in zip(result.error_levels, result.latency_inflation):
+        print(f"  +/-{err:.0%}: x{infl:.3f}")
+        benchmark.extra_info[f"error_{int(err*100)}pct"] = round(infl, 4)
+    benchmark.extra_info["paper_max_inflation"] = 1.069
+    assert result.max_inflation < 1.25

@@ -1,0 +1,22 @@
+"""Section 7.4: searching overhead of primary-worker parallelism."""
+
+from _bench_utils import run_once
+
+from repro.experiments.search_overhead import run_search_overhead
+
+
+def test_parallelizer_search_overhead(benchmark):
+    results = run_once(benchmark, run_search_overhead)
+    print("\nParallelizer search overhead:")
+    for r in results:
+        print(
+            f"  {r.cluster_name:<18} {r.num_devices:>4} GPUs  {r.search_seconds:7.3f}s  "
+            f"{r.configs_evaluated} configs  primary={r.num_primary} attention={r.num_attention_workers}"
+        )
+        benchmark.extra_info[f"{r.cluster_name}_seconds"] = round(r.search_seconds, 3)
+        benchmark.extra_info[f"{r.cluster_name}_configs"] = r.configs_evaluated
+    benchmark.extra_info["paper_local_cluster_seconds"] = 4.0
+    benchmark.extra_info["paper_large_scale_seconds"] = 15.0
+    # The claim being reproduced: a one-off search that stays in the seconds range.
+    assert results[0].search_seconds < 10.0
+    assert results[1].search_seconds < 60.0

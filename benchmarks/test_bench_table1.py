@@ -1,0 +1,20 @@
+"""Table 1: per-GPU memory and OPT-2.7B prefill/decode iteration time."""
+
+from _bench_utils import run_once
+
+from repro.experiments.table1 import PAPER_DECODE_RATIOS, PAPER_PREFILL_RATIOS, format_table, run_table1
+
+
+def test_table1_device_iteration_times(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print("\n" + format_table(rows))
+    for row in rows:
+        benchmark.extra_info[f"{row.device}_prefill_s"] = round(row.prefill_time_s, 5)
+        benchmark.extra_info[f"{row.device}_decode_s"] = round(row.decode_time_s, 5)
+        benchmark.extra_info[f"{row.device}_prefill_ratio"] = round(row.prefill_ratio_vs_a100, 2)
+        benchmark.extra_info[f"{row.device}_decode_ratio"] = round(row.decode_ratio_vs_a100, 2)
+        benchmark.extra_info[f"paper_{row.device}_prefill_ratio"] = PAPER_PREFILL_RATIOS[row.device]
+        benchmark.extra_info[f"paper_{row.device}_decode_ratio"] = PAPER_DECODE_RATIOS[row.device]
+    by_dev = {r.device: r for r in rows}
+    assert by_dev["p100"].prefill_ratio_vs_a100 > by_dev["rtx3090"].prefill_ratio_vs_a100 > 1.0
+    assert by_dev["p100"].decode_ratio_vs_a100 > by_dev["rtx3090"].decode_ratio_vs_a100 > 1.0

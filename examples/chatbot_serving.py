@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Chatbot serving scenario: sweep request rates on a ShareGPT-style workload.
+
+Reproduces (a small version of) the paper's Fig. 8 panel for Llama-13B:
+mean normalized latency (s/token) of Splitwise, HexGen, and Hetis as the
+Poisson arrival rate grows, plus the "sustained rate" each system achieves
+under a latency SLO -- the quantity behind the paper's 2.25x / 1.33x
+throughput-improvement claims.
+
+Run:  python examples/chatbot_serving.py [--rates 3 6 9 12] [--requests 48]
+"""
+
+import argparse
+
+from repro.experiments.e2e import run_rate_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama-13b")
+    parser.add_argument("--rates", type=float, nargs="+", default=[3.0, 6.0, 9.0, 12.0])
+    parser.add_argument("--requests", type=int, default=48)
+    parser.add_argument("--slo", type=float, default=0.05, help="normalized-latency SLO (s/token)")
+    args = parser.parse_args()
+
+    print(f"Sweeping {args.model} on ShareGPT at rates {args.rates} ({args.requests} requests each)...")
+    sweeps = run_rate_sweep(
+        args.model,
+        "sharegpt",
+        systems=("splitwise", "hexgen", "hetis"),
+        rates=args.rates,
+        num_requests=args.requests,
+    )
+
+    print(f"\n{'rate (req/s)':<14}" + "".join(f"{s:>12}" for s in sweeps))
+    for i, rate in enumerate(args.rates):
+        row = f"{rate:<14.1f}"
+        for system in sweeps:
+            row += f"{sweeps[system].latencies[i]:>12.4f}"
+        print(row)
+
+    print(f"\nSustained rate under a {args.slo} s/token SLO:")
+    hetis_rate = sweeps["hetis"].max_rate_under(args.slo)
+    for system, sweep in sweeps.items():
+        sustained = sweep.max_rate_under(args.slo)
+        gain = f"  ({hetis_rate / sustained:.2f}x lower than Hetis)" if sustained and system != "hetis" else ""
+        print(f"  {system:<10} {sustained:>6.1f} req/s{gain}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cluster planning: what does Hetis' Parallelizer do with *your* GPU mix?
+
+This example uses the Parallelizer as a standalone planning tool: describe a
+heterogeneous cluster (any mix of the catalog's GPU types), pick a model and a
+workload shape, and see which devices become Primary workers, which become
+pooled Attention workers, how layers are split across pipeline stages, and how
+much KV-cache capacity the deployment ends up with.
+
+Run:  python examples/cluster_planner.py --gpus a100:2 rtx3090:4 t4:4 --model llama-13b
+"""
+
+import argparse
+
+from repro.core.parallelizer import Parallelizer, WorkloadHint
+from repro.hardware.cluster import ClusterBuilder
+from repro.models.spec import get_model_spec
+
+
+def parse_gpu_arg(spec: str):
+    name, _, count = spec.partition(":")
+    return name, int(count or "1")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--gpus",
+        nargs="+",
+        default=["a100:4", "rtx3090:2", "rtx3090:2", "p100:4"],
+        help="one entry per host, e.g. a100:4 rtx3090:2 (type:count)",
+    )
+    parser.add_argument("--model", default="llama-70b")
+    parser.add_argument("--avg-prompt", type=int, default=512)
+    parser.add_argument("--avg-context", type=int, default=1024)
+    parser.add_argument("--concurrency", type=int, default=64)
+    parser.add_argument("--delta", type=float, default=0.05, help="pruning threshold")
+    args = parser.parse_args()
+
+    builder = ClusterBuilder()
+    for host_spec in args.gpus:
+        name, count = parse_gpu_arg(host_spec)
+        builder.add_host(name, count=count)
+    cluster = builder.build()
+    model = get_model_spec(args.model)
+    hint = WorkloadHint(
+        avg_prompt_tokens=args.avg_prompt,
+        avg_context_tokens=args.avg_context,
+        expected_concurrency=args.concurrency,
+    )
+
+    print(f"Planning {model.name} on {cluster!r} (delta={args.delta}) ...")
+    plan = Parallelizer(cluster, model, hint=hint, delta=args.delta).plan()
+    print(f"  search took {plan.search_seconds:.2f}s over {plan.configs_evaluated} candidate configurations\n")
+
+    for idx, instance in enumerate(plan.config.instances):
+        print(f"Serving instance {idx}:")
+        for stage_idx, stage in enumerate(instance.stages):
+            devices = ", ".join(d.name for d in stage.devices)
+            print(f"  stage {stage_idx}: {stage.num_layers:3d} layers, TP={stage.tp_degree}  [{devices}]")
+        workers = ", ".join(d.name for d in instance.attention_workers) or "(none)"
+        print(f"  attention workers: {workers}")
+        kv_gb = instance.total_kv_capacity_bytes(model) / 1e9
+        print(f"  KV-cache capacity after weights: {kv_gb:.0f} GB\n")
+
+    print(
+        f"Primary workers: {len(plan.primary_devices)}; "
+        f"Attention workers: {len(plan.attention_workers)}; "
+        f"estimated dense-computation cost: {plan.cost:.4f} s/iteration"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs keep working on environments whose setuptools/pip predate
+PEP 660 editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Hetis reproduction package.
+
+This package reproduces *Hetis: Serving LLMs in Heterogeneous GPU Clusters with
+Fine-grained and Dynamic Parallelism* (SC '25) as a pure-Python, simulation-based
+library.  It provides:
+
+* a calibrated heterogeneous GPU-cluster hardware model (:mod:`repro.hardware`),
+* analytic LLM cost models (:mod:`repro.models`, :mod:`repro.perf`),
+* paged and head-wise KV-cache management (:mod:`repro.kvcache`),
+* an iteration-level discrete-event serving simulator (:mod:`repro.sim`),
+* the Hetis core algorithms -- Parallelizer, dynamic head-wise Attention
+  parallelism, online Dispatcher, re-dispatching, and the Hauler
+  (:mod:`repro.core`),
+* heterogeneity-aware baselines, Splitwise and HexGen (:mod:`repro.baselines`),
+* synthetic workload generators for ShareGPT / HumanEval / LongBench style
+  traces (:mod:`repro.workloads`), and
+* experiment drivers that regenerate every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import quick_serve
+>>> result = quick_serve(model="llama-13b", system="hetis", dataset="sharegpt",
+...                      request_rate=6.0, num_requests=64, seed=0)
+>>> result.normalized_latency > 0
+True
+"""
+
+from repro.version import __version__
+from repro.api import (
+    quick_serve,
+    build_cluster,
+    build_system,
+    available_models,
+    available_systems,
+    available_datasets,
+)
+
+__all__ = [
+    "__version__",
+    "quick_serve",
+    "build_cluster",
+    "build_system",
+    "available_models",
+    "available_systems",
+    "available_datasets",
+]

@@ -1,0 +1,120 @@
+"""High-level convenience API.
+
+These helpers wire the common path together for examples, experiments, and
+downstream users: build a cluster, build a serving system for a model on that
+cluster, generate a workload trace, and run the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines import build_hexgen_system, build_splitwise_system, build_static_tp_system
+from repro.core.parallelizer import WorkloadHint
+from repro.core.system import build_hetis_system
+from repro.hardware.cluster import Cluster, paper_cluster
+from repro.models.spec import MODEL_CATALOG, get_model_spec
+from repro.sim.engine import Engine, ServingSystem, SimulationResult
+from repro.sim.scheduler import SchedulerLimits
+from repro.workloads.arrivals import RatePhase
+from repro.workloads.datasets import DATASET_CATALOG, get_dataset_spec
+from repro.workloads.trace import Trace, generate_trace
+
+SYSTEMS = ("hetis", "hexgen", "splitwise", "static-tp")
+
+
+def available_models() -> List[str]:
+    """Model names available in the catalog."""
+    return sorted(MODEL_CATALOG)
+
+
+def available_systems() -> List[str]:
+    """Serving systems that :func:`build_system` can construct."""
+    return list(SYSTEMS)
+
+
+def available_datasets() -> List[str]:
+    """Dataset (workload) names available for trace generation."""
+    return sorted(DATASET_CATALOG)
+
+
+def build_cluster(kind: str = "paper") -> Cluster:
+    """Construct a named cluster topology.
+
+    ``"paper"`` is the evaluation testbed (4x A100, 4x 3090 across two hosts,
+    4x P100); ``"small"`` is a compact 1x A100 + 2x 3090 cluster handy for
+    tests and the Fig.-14 study.
+    """
+    from repro.hardware.cluster import simple_cluster
+
+    if kind == "paper":
+        return paper_cluster()
+    if kind == "small":
+        return simple_cluster("a100", "rtx3090", n_high=1, n_low=2)
+    raise ValueError(f"unknown cluster kind {kind!r}; use 'paper' or 'small'")
+
+
+def default_hint(dataset: str, model_name: str) -> WorkloadHint:
+    """A reasonable planning hint derived from a dataset's length statistics."""
+    spec = get_dataset_spec(dataset)
+    return WorkloadHint(
+        avg_prompt_tokens=int(spec.mean_prompt_tokens),
+        avg_context_tokens=int(spec.mean_prompt_tokens + spec.mean_output_tokens),
+        expected_concurrency=64,
+    )
+
+
+def build_system(
+    system: str,
+    cluster: Cluster,
+    model_name: str,
+    dataset: str = "sharegpt",
+    limits: Optional[SchedulerLimits] = None,
+    **kwargs,
+) -> ServingSystem:
+    """Build a named serving system (``hetis``, ``hexgen``, ``splitwise``, ``static-tp``)."""
+    model = get_model_spec(model_name)
+    system = system.lower()
+    if system == "hetis":
+        hint = kwargs.pop("hint", default_hint(dataset, model_name))
+        return build_hetis_system(cluster, model, hint=hint, limits=limits, **kwargs)
+    if system == "hexgen":
+        return build_hexgen_system(cluster, model, limits=limits, **kwargs)
+    if system == "splitwise":
+        return build_splitwise_system(cluster, model, limits=limits, **kwargs)
+    if system in ("static-tp", "static_tp", "static"):
+        return build_static_tp_system(cluster, model, limits=limits, **kwargs)
+    raise ValueError(f"unknown system {system!r}; available: {SYSTEMS}")
+
+
+def run_system(
+    system: ServingSystem,
+    trace: Trace,
+    max_simulated_time: float = 24 * 3600.0,
+) -> SimulationResult:
+    """Run a prepared system against a prepared trace."""
+    engine = Engine(system, max_simulated_time=max_simulated_time)
+    return engine.run(trace)
+
+
+def quick_serve(
+    model: str = "llama-13b",
+    system: str = "hetis",
+    dataset: str = "sharegpt",
+    request_rate: float = 5.0,
+    num_requests: int = 64,
+    cluster: Optional[Cluster] = None,
+    cluster_kind: str = "paper",
+    seed: int = 0,
+    phases: Optional[Sequence[RatePhase]] = None,
+    **system_kwargs,
+) -> SimulationResult:
+    """One-call end-to-end simulation: build cluster + system + trace, then run.
+
+    Returns the :class:`~repro.sim.engine.SimulationResult`, whose ``summary``
+    carries normalized latency, TTFT/TPOT percentiles, and throughput.
+    """
+    cluster = cluster or build_cluster(cluster_kind)
+    serving = build_system(system, cluster, model, dataset=dataset, **system_kwargs)
+    trace = generate_trace(dataset, request_rate, num_requests, seed=seed, phases=phases)
+    return run_system(serving, trace)

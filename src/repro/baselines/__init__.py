@@ -1,0 +1,27 @@
+"""Heterogeneity-aware baselines reproduced for comparison.
+
+* :mod:`repro.baselines.splitwise` -- phase splitting: prefill runs on the
+  high-end GPUs, the KV cache is migrated over the network, and decode runs on
+  the low-end GPUs (Patel et al., ISCA'24), following the deployment the paper
+  uses in its evaluation (Sec. 7.1).
+* :mod:`repro.baselines.hexgen` -- static asymmetric tensor/pipeline
+  parallelism that balances execution time across heterogeneous devices
+  (Jiang et al., ICML'24), with homogeneous per-stage device groups as in the
+  paper's evaluation setup.
+* :mod:`repro.baselines.static_tp` -- a plain homogeneous-style reference that
+  tensor-parallelises uniformly over every device, used in ablations.
+"""
+
+from repro.baselines.splitwise import SplitwiseSystem, build_splitwise_system
+from repro.baselines.hexgen import HexGenSystem, build_hexgen_system, plan_hexgen_config
+from repro.baselines.static_tp import StaticTPSystem, build_static_tp_system
+
+__all__ = [
+    "SplitwiseSystem",
+    "build_splitwise_system",
+    "HexGenSystem",
+    "build_hexgen_system",
+    "plan_hexgen_config",
+    "StaticTPSystem",
+    "build_static_tp_system",
+]

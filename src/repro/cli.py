@@ -1,0 +1,161 @@
+"""Command-line interface for the Hetis reproduction.
+
+Three subcommands cover the common workflows:
+
+``plan``
+    Run the Parallelizer on a described cluster and print the resulting
+    Primary/Attention role assignment and stage layout.
+
+``serve``
+    Simulate serving a workload with one of the systems (hetis, hexgen,
+    splitwise, static-tp) and print the latency/throughput summary.
+
+``compare``
+    Run the same workload through several systems and print a comparison
+    table (the quickest way to reproduce one point of Figs. 8-10).
+
+Examples
+--------
+    python -m repro plan --model llama-70b --gpus a100:4 rtx3090:2 rtx3090:2 p100:4
+    python -m repro serve --system hetis --model llama-13b --dataset sharegpt --rate 8 --requests 60
+    python -m repro compare --model opt-30b --dataset humaneval --rate 20 --requests 48
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.api import build_cluster, build_system, run_system
+from repro.core.parallelizer import Parallelizer, WorkloadHint
+from repro.hardware.cluster import Cluster, ClusterBuilder
+from repro.models.spec import get_model_spec
+from repro.sim.engine import SimulationResult
+from repro.workloads.trace import generate_trace
+
+
+def _cluster_from_args(gpu_hosts: Optional[Sequence[str]]) -> Cluster:
+    """Build a cluster from ``type:count`` host descriptions (default: paper cluster)."""
+    if not gpu_hosts:
+        return build_cluster("paper")
+    builder = ClusterBuilder()
+    for host in gpu_hosts:
+        name, _, count = host.partition(":")
+        builder.add_host(name, count=int(count or "1"))
+    return builder.build()
+
+
+def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="llama-13b", help="model name from the catalog")
+    parser.add_argument("--dataset", default="sharegpt", choices=["sharegpt", "humaneval", "longbench"])
+    parser.add_argument("--rate", type=float, default=5.0, help="Poisson request rate (req/s)")
+    parser.add_argument("--requests", type=int, default=60, help="number of requests to simulate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--gpus", nargs="*", default=None, help="hosts as type:count (default: paper cluster)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="run the Parallelizer and print the deployment")
+    plan.add_argument("--model", default="llama-70b")
+    plan.add_argument("--gpus", nargs="*", default=None, help="hosts as type:count (default: paper cluster)")
+    plan.add_argument("--delta", type=float, default=0.05)
+    plan.add_argument("--avg-prompt", type=int, default=512)
+    plan.add_argument("--avg-context", type=int, default=1024)
+    plan.add_argument("--concurrency", type=int, default=64)
+
+    serve = sub.add_parser("serve", help="simulate serving a workload with one system")
+    serve.add_argument("--system", default="hetis", choices=["hetis", "hexgen", "splitwise", "static-tp"])
+    _add_common_workload_args(serve)
+
+    compare = sub.add_parser("compare", help="run the same workload through several systems")
+    compare.add_argument("--systems", nargs="+", default=["splitwise", "hexgen", "hetis"])
+    _add_common_workload_args(compare)
+    return parser
+
+
+def _format_summary(name: str, result: SimulationResult) -> str:
+    s = result.summary
+    return (
+        f"{name:<11}{s.mean_normalized_latency:>12.4f}{s.p95_normalized_latency:>12.4f}"
+        f"{s.p95_ttft:>10.3f}{s.p95_tpot:>10.4f}{s.throughput_tokens_per_s:>12.1f}"
+        f"{result.available_cache_bytes / 1e9:>10.0f}"
+    )
+
+
+_HEADER = (
+    f"{'system':<11}{'mean s/tok':>12}{'p95 s/tok':>12}{'p95 TTFT':>10}{'p95 TPOT':>10}"
+    f"{'tokens/s':>12}{'cache GB':>10}"
+)
+
+
+def cmd_plan(args: argparse.Namespace, out=sys.stdout) -> int:
+    cluster = _cluster_from_args(args.gpus)
+    model = get_model_spec(args.model)
+    hint = WorkloadHint(
+        avg_prompt_tokens=args.avg_prompt,
+        avg_context_tokens=args.avg_context,
+        expected_concurrency=args.concurrency,
+    )
+    plan = Parallelizer(cluster, model, hint=hint, delta=args.delta).plan()
+    print(f"model: {model}", file=out)
+    print(f"cluster: {cluster!r}", file=out)
+    print(f"search: {plan.search_seconds:.2f}s over {plan.configs_evaluated} configurations", file=out)
+    for idx, instance in enumerate(plan.config.instances):
+        print(f"instance {idx}:", file=out)
+        for s_idx, stage in enumerate(instance.stages):
+            devices = ", ".join(d.name for d in stage.devices)
+            print(f"  stage {s_idx}: {stage.num_layers} layers, TP={stage.tp_degree} [{devices}]", file=out)
+        workers = ", ".join(d.name for d in instance.attention_workers) or "(none)"
+        print(f"  attention workers: {workers}", file=out)
+        print(f"  KV capacity: {instance.total_kv_capacity_bytes(model) / 1e9:.0f} GB", file=out)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
+    cluster = _cluster_from_args(args.gpus)
+    system = build_system(args.system, cluster, args.model, dataset=args.dataset)
+    trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
+    result = run_system(system, trace)
+    print(f"{args.system} serving {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
+    print(_HEADER, file=out)
+    print(_format_summary(args.system, result), file=out)
+    if result.num_dropped:
+        print(f"warning: {result.num_dropped} request(s) dropped (did not fit in cluster memory)", file=out)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out=sys.stdout) -> int:
+    print(f"comparing {args.systems} on {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
+    print(_HEADER, file=out)
+    best_name, best_latency = None, float("inf")
+    for name in args.systems:
+        cluster = _cluster_from_args(args.gpus)
+        system = build_system(name, cluster, args.model, dataset=args.dataset)
+        trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
+        result = run_system(system, trace)
+        print(_format_summary(name, result), file=out)
+        if result.summary.mean_normalized_latency < best_latency:
+            best_name, best_latency = name, result.summary.mean_normalized_latency
+    print(f"lowest mean normalized latency: {best_name}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    """Entry point used by ``python -m repro`` and by the tests."""
+    args = build_parser().parse_args(argv)
+    if args.command == "plan":
+        return cmd_plan(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
+    if args.command == "compare":
+        return cmd_compare(args, out)
+    raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Hetis core: the paper's primary contribution.
+
+Components (paper Fig. 3):
+
+* :class:`~repro.core.parallelizer.Parallelizer` -- assigns Primary / Attention
+  roles to GPUs and searches the DP/PP/TP configuration of the Primary workers
+  (Sec. 4.1, "primary worker parallelism").
+* :mod:`repro.core.attention_parallel` -- dynamic head-wise Attention
+  parallelism primitives and the head-wise vs. sequence-wise communication
+  comparison (Sec. 4.2, Fig. 5/6).
+* :class:`~repro.core.dispatcher.Dispatcher` -- the online head-dispatching
+  policy built on the linear Attention/transfer models (Sec. 5.1-5.2).
+* :mod:`~repro.core.redispatch` -- re-dispatching for computation balance and
+  KV-cache balance (Sec. 5.3).
+* :class:`~repro.core.hauler.Hauler` -- interference-aware, head-wise partial
+  cache migration (Sec. 6, "live cache migration").
+* :class:`~repro.core.hetis_unit.HetisInstanceUnit` and
+  :class:`~repro.core.system.HetisSystem` -- the serving instance / system that
+  plugs all of the above into the simulator.
+"""
+
+from repro.core.parallelizer import Parallelizer, ParallelizerResult, WorkloadHint
+from repro.core.attention_parallel import (
+    headwise_transfer_overhead,
+    seqwise_transfer_overhead,
+    batchwise_transfer_overhead,
+    HeadSplit,
+)
+from repro.core.dispatcher import Dispatcher, DispatchDecision
+from repro.core.redispatch import RedispatchPolicy, RedispatchAction
+from repro.core.hauler import Hauler, MigrationReport
+from repro.core.hetis_unit import HetisInstanceUnit
+from repro.core.system import HetisSystem, build_hetis_system
+
+__all__ = [
+    "Parallelizer",
+    "ParallelizerResult",
+    "WorkloadHint",
+    "headwise_transfer_overhead",
+    "seqwise_transfer_overhead",
+    "batchwise_transfer_overhead",
+    "HeadSplit",
+    "Dispatcher",
+    "DispatchDecision",
+    "RedispatchPolicy",
+    "RedispatchAction",
+    "Hauler",
+    "MigrationReport",
+    "HetisInstanceUnit",
+    "HetisSystem",
+    "build_hetis_system",
+]

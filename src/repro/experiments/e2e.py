@@ -1,0 +1,167 @@
+"""End-to-end serving experiments: Figs. 8-10 (rate sweeps), 12 (tail latency),
+and 13 (decode-phase module latency).
+
+The paper's evaluation drives each system with Poisson arrivals from one of
+three workloads and reports the mean normalized latency (s/token) as the
+request rate increases (Figs. 8-10), the P95 TTFT/TPOT at an unsaturated rate
+(Fig. 12), and the P95 decode-phase MLP / Attention module latency (Fig. 13).
+All three reuse :func:`run_serving` below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.api import build_cluster, build_system, run_system
+from repro.hardware.cluster import Cluster
+from repro.sim.engine import SimulationResult
+from repro.workloads.trace import generate_trace
+
+# Request-rate grids of Figs. 8-10 (req/s), per model and dataset.
+PAPER_RATE_GRID: Dict[str, Dict[str, Sequence[float]]] = {
+    "llama-13b": {"sharegpt": (3, 6, 9, 12, 15), "humaneval": (15, 30, 45, 60, 75), "longbench": (3, 6, 9)},
+    "opt-30b": {"sharegpt": (3, 6, 9, 12), "humaneval": (15, 30, 45), "longbench": (2, 4, 6)},
+    "llama-70b": {"sharegpt": (1, 2, 3), "humaneval": (3, 6, 9, 12), "longbench": (0.4, 0.8, 1.2, 1.6)},
+}
+
+# Unsaturated rates used for the Fig. 12 / Fig. 13 tail-latency study (Llama-70B).
+PAPER_TAIL_RATES: Dict[str, float] = {"sharegpt": 1.5, "humaneval": 6.0, "longbench": 0.8}
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """One (system, rate) measurement."""
+
+    system: str
+    model: str
+    dataset: str
+    request_rate: float
+    normalized_latency: float
+    p95_normalized_latency: float
+    p95_ttft: float
+    p95_tpot: float
+    p95_mlp: float
+    p95_attention: float
+    throughput_rps: float
+    available_cache_gb: float
+    num_finished: int
+
+
+@dataclass
+class RateSweep:
+    """A normalized-latency-vs-rate curve for one system (one line of Figs. 8-10)."""
+
+    system: str
+    model: str
+    dataset: str
+    points: List[ServingPoint] = field(default_factory=list)
+
+    @property
+    def rates(self) -> List[float]:
+        return [p.request_rate for p in self.points]
+
+    @property
+    def latencies(self) -> List[float]:
+        return [p.normalized_latency for p in self.points]
+
+    def max_rate_under(self, latency_slo: float) -> float:
+        """The highest swept rate whose mean normalized latency meets the SLO.
+
+        This is the "sustained request rate" notion behind the paper's
+        throughput-improvement claims (e.g. Hetis sustains up to 2.25x the
+        rate of Splitwise).
+        """
+        feasible = [p.request_rate for p in self.points if p.normalized_latency <= latency_slo]
+        return max(feasible) if feasible else 0.0
+
+
+def run_serving(
+    system: str,
+    model: str,
+    dataset: str,
+    request_rate: float,
+    num_requests: int = 80,
+    seed: int = 0,
+    cluster: Optional[Cluster] = None,
+    **system_kwargs,
+) -> ServingPoint:
+    """Run one (system, model, dataset, rate) cell and summarise it."""
+    cluster = cluster or build_cluster("paper")
+    serving = build_system(system, cluster, model, dataset=dataset, **system_kwargs)
+    trace = generate_trace(dataset, request_rate, num_requests, seed=seed)
+    result: SimulationResult = run_system(serving, trace)
+    s = result.summary
+    return ServingPoint(
+        system=system,
+        model=model,
+        dataset=dataset,
+        request_rate=request_rate,
+        normalized_latency=s.mean_normalized_latency,
+        p95_normalized_latency=s.p95_normalized_latency,
+        p95_ttft=s.p95_ttft,
+        p95_tpot=s.p95_tpot,
+        p95_mlp=s.p95_module_latency.get("mlp", 0.0),
+        p95_attention=s.p95_module_latency.get("attention", 0.0),
+        throughput_rps=s.throughput_rps,
+        available_cache_gb=result.available_cache_bytes / 1e9,
+        num_finished=s.num_finished,
+    )
+
+
+def run_rate_sweep(
+    model: str,
+    dataset: str,
+    systems: Sequence[str] = ("splitwise", "hexgen", "hetis"),
+    rates: Optional[Sequence[float]] = None,
+    num_requests: int = 80,
+    seed: int = 0,
+) -> Dict[str, RateSweep]:
+    """Regenerate one panel of Fig. 8/9/10: latency-vs-rate for each system."""
+    rates = rates if rates is not None else PAPER_RATE_GRID[model][dataset]
+    sweeps: Dict[str, RateSweep] = {}
+    for system in systems:
+        sweep = RateSweep(system=system, model=model, dataset=dataset)
+        for rate in rates:
+            # A fresh cluster per run: device weight assignments are mutable state.
+            sweep.points.append(
+                run_serving(system, model, dataset, rate, num_requests=num_requests, seed=seed)
+            )
+        sweeps[system] = sweep
+    return sweeps
+
+
+def run_tail_latency(
+    model: str = "llama-70b",
+    datasets: Sequence[str] = ("sharegpt", "humaneval", "longbench"),
+    systems: Sequence[str] = ("hetis", "hexgen", "splitwise"),
+    num_requests: int = 80,
+    seed: int = 0,
+) -> Dict[str, Dict[str, ServingPoint]]:
+    """Regenerate Fig. 12 (P95 TTFT / TPOT at the paper's unsaturated rates).
+
+    Returns ``{dataset: {system: point}}``.
+    """
+    out: Dict[str, Dict[str, ServingPoint]] = {}
+    for dataset in datasets:
+        rate = PAPER_TAIL_RATES[dataset]
+        out[dataset] = {
+            system: run_serving(system, model, dataset, rate, num_requests=num_requests, seed=seed)
+            for system in systems
+        }
+    return out
+
+
+def run_module_latency(
+    model: str = "llama-70b",
+    datasets: Sequence[str] = ("sharegpt", "humaneval", "longbench"),
+    systems: Sequence[str] = ("hetis", "hexgen", "splitwise"),
+    num_requests: int = 80,
+    seed: int = 0,
+) -> Dict[str, Dict[str, ServingPoint]]:
+    """Regenerate Fig. 13 (P95 decode MLP / Attention module latency).
+
+    The measurements come from the same runs as Fig. 12, so this simply reuses
+    :func:`run_tail_latency`; the caller reads ``p95_mlp`` / ``p95_attention``.
+    """
+    return run_tail_latency(model=model, datasets=datasets, systems=systems, num_requests=num_requests, seed=seed)

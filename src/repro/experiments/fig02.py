@@ -1,0 +1,64 @@
+"""Fig. 2: decode-phase MLP and Attention time of one Llama-70B layer per GPU.
+
+The paper sweeps the number of concurrently decoding requests (20..400, each
+with a 1000-token context) and reports the per-layer execution time of the MLP
+and of the Attention module on a P100, a 3090, and an A100, normalized to the
+A100.  The key observation it motivates: the MLP gap between high- and low-end
+GPUs is enormous (tens of times), while the Attention gap is only a few times,
+so Attention -- and only Attention -- is worth offloading to low-end devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.hardware.gpu import get_gpu_spec
+from repro.models.flops import BatchProfile
+from repro.models.spec import get_model_spec
+from repro.perf.roofline import RooflineExecutor
+
+
+@dataclass
+class Fig2Series:
+    """Normalized (to A100) module time for one device across the request sweep."""
+
+    device: str
+    num_requests: List[int] = field(default_factory=list)
+    norm_mlp_time: List[float] = field(default_factory=list)
+    norm_attention_time: List[float] = field(default_factory=list)
+
+
+def run_fig2(
+    num_requests: Sequence[int] = (20, 100, 200, 300, 400),
+    context_tokens: int = 1000,
+    devices: Sequence[str] = ("p100", "rtx3090", "a100"),
+    model_name: str = "llama-70b",
+) -> Dict[str, Fig2Series]:
+    """Regenerate both panels of Fig. 2 (values normalized to the A100)."""
+    model = get_model_spec(model_name)
+    executor = RooflineExecutor(model)
+    a100 = get_gpu_spec("a100")
+
+    series = {name: Fig2Series(device=name) for name in devices}
+    for n in num_requests:
+        batch = BatchProfile.decode_only([context_tokens] * n)
+        ref_mlp = executor.mlp_time(a100, batch)
+        ref_attn = executor.decode_attention_time(
+            a100, batch.decode_contexts, [model.num_heads] * n
+        )
+        for name in devices:
+            spec = get_gpu_spec(name)
+            mlp = executor.mlp_time(spec, batch)
+            attn = executor.decode_attention_time(spec, batch.decode_contexts, [model.num_heads] * n)
+            series[name].num_requests.append(int(n))
+            series[name].norm_mlp_time.append(mlp / ref_mlp)
+            series[name].norm_attention_time.append(attn / ref_attn)
+    return series
+
+
+def mean_gap(series: Dict[str, Fig2Series], device: str, module: str) -> float:
+    """Average normalized gap of ``device`` vs. the A100 for ``module``."""
+    s = series[device]
+    values = s.norm_mlp_time if module == "mlp" else s.norm_attention_time
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,77 @@
+"""Fig. 5: head-wise vs. sequence-wise splitting communication overhead.
+
+Panel (a): one Attention worker, varying the fraction of the Attention load
+offloaded (20 %..80 %).  Head-wise splitting only ships the offloaded heads'
+vectors, so its overhead scales with the offload ratio; sequence-wise
+splitting must replicate the full query vector regardless of how much load
+moved, so it pays the full price even at 20 %.
+
+Panel (b): the load of each request is spread evenly over 1..4 Attention
+workers.  Head-wise volume per worker shrinks as workers are added;
+sequence-wise volume per worker does not, and contention grows.
+Both panels use Llama-70B over a 100 Gbps network, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.attention_parallel import headwise_transfer_overhead, seqwise_transfer_overhead
+from repro.hardware.cluster import ClusterBuilder
+from repro.models.spec import get_model_spec
+
+
+@dataclass
+class Fig5Result:
+    """Both panels of Fig. 5."""
+
+    offload_ratios: List[float] = field(default_factory=list)
+    headwise_by_ratio: List[float] = field(default_factory=list)
+    seqwise_by_ratio: List[float] = field(default_factory=list)
+    num_workers: List[int] = field(default_factory=list)
+    headwise_by_workers: List[float] = field(default_factory=list)
+    seqwise_by_workers: List[float] = field(default_factory=list)
+
+    def headwise_advantage_at(self, ratio: float) -> float:
+        """seq-wise / head-wise overhead ratio at a given offload fraction."""
+        idx = self.offload_ratios.index(ratio)
+        return self.seqwise_by_ratio[idx] / self.headwise_by_ratio[idx]
+
+    def headwise_advantage_at_workers(self, workers: int) -> float:
+        idx = self.num_workers.index(workers)
+        return self.seqwise_by_workers[idx] / self.headwise_by_workers[idx]
+
+
+def run_fig5(
+    offload_ratios: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+    worker_counts: Sequence[int] = (1, 2, 3, 4),
+    model_name: str = "llama-70b",
+    batch_requests: int = 32,
+) -> Fig5Result:
+    """Regenerate Fig. 5 on a synthetic 1x A100 + 4x P100 deployment."""
+    model = get_model_spec(model_name)
+    cluster = ClusterBuilder().add_host("a100", 1).add_host("p100", 4).build()
+    primary = cluster.devices[0]
+    workers = cluster.devices[1:]
+    result = Fig5Result()
+
+    # Panel (a): one worker, varying offload ratio.  The per-decode-step volume
+    # aggregates over the batch of requests sharing the step.
+    for ratio in offload_ratios:
+        heads = model.num_heads * ratio * batch_requests
+        head_t = headwise_transfer_overhead(model, cluster, primary, workers[:1], heads)
+        seq_t = seqwise_transfer_overhead(model, cluster, primary, workers[:1], batch_requests)
+        result.offload_ratios.append(float(ratio))
+        result.headwise_by_ratio.append(head_t)
+        result.seqwise_by_ratio.append(seq_t)
+
+    # Panel (b): the whole Attention load of every request evenly spread over k workers.
+    for k in worker_counts:
+        per_worker_heads = model.num_heads * batch_requests / k
+        head_t = headwise_transfer_overhead(model, cluster, primary, workers[:k], per_worker_heads)
+        seq_t = seqwise_transfer_overhead(model, cluster, primary, workers[:k], batch_requests)
+        result.num_workers.append(int(k))
+        result.headwise_by_workers.append(head_t)
+        result.seqwise_by_workers.append(seq_t)
+    return result

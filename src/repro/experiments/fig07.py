@@ -1,0 +1,104 @@
+"""Fig. 7: linearity of decode Attention time in cache size and head count.
+
+Three observations the online model (Eq. 3) rests on, measured for OPT-30B:
+
+(a) with the total number of heads and the total cache size fixed, Attention
+    time is independent of how many requests the heads belong to;
+(b) with heads fixed, Attention time grows linearly with the cache size;
+(c) with cache fixed, Attention time grows linearly with the number of heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.hardware.gpu import get_gpu_spec
+from repro.models.spec import get_model_spec
+from repro.perf.roofline import RooflineExecutor
+
+
+@dataclass
+class Fig7Result:
+    """The three panels of Fig. 7 (times in seconds)."""
+
+    num_requests: List[int] = field(default_factory=list)
+    time_by_requests: List[float] = field(default_factory=list)
+    context_lengths: List[int] = field(default_factory=list)
+    time_by_context: List[float] = field(default_factory=list)
+    head_counts: List[int] = field(default_factory=list)
+    time_by_heads: List[float] = field(default_factory=list)
+
+    def requests_variation(self) -> float:
+        """Relative spread of panel (a); should be small (flat curve)."""
+        values = np.asarray(self.time_by_requests)
+        return float((values.max() - values.min()) / values.mean()) if values.size else 0.0
+
+    def context_linearity(self) -> float:
+        """R^2 of a linear fit of panel (b)."""
+        return _r_squared(self.context_lengths, self.time_by_context)
+
+    def heads_linearity(self) -> float:
+        """R^2 of a linear fit of panel (c)."""
+        return _r_squared(self.head_counts, self.time_by_heads)
+
+
+def _r_squared(x: Sequence[float], y: Sequence[float]) -> float:
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size < 2:
+        return 1.0
+    coeffs = np.polyfit(x, y, 1)
+    pred = np.polyval(coeffs, x)
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def run_fig7(
+    device: str = "a100",
+    model_name: str = "opt-30b",
+    request_sweep: Sequence[int] = (400, 500, 600, 700),
+    context_sweep: Sequence[int] = (900, 1000, 1100, 1200),
+    head_sweep_thousands: Sequence[int] = (15, 30, 45),
+) -> Fig7Result:
+    """Regenerate Fig. 7 with the roofline Attention model."""
+    model = get_model_spec(model_name)
+    spec = get_gpu_spec(device)
+    executor = RooflineExecutor(model)
+    result = Fig7Result()
+
+    # (a) fixed total heads and total cache (token-heads), varying how many
+    # requests they are split over: each request gets fewer heads, but the same
+    # per-head context, so both totals stay constant and the time stays flat.
+    total_heads = 25_000
+    context_per_head = 1000
+    for n in request_sweep:
+        heads_per_req = max(model.gqa_ratio, int(round(total_heads / n)))
+        contexts = [context_per_head] * n
+        heads = [heads_per_req] * n
+        result.num_requests.append(int(n))
+        result.time_by_requests.append(executor.decode_attention_time(spec, contexts, heads))
+
+    # (b) fixed heads per request, varying the average context length.
+    n_req = 500
+    for ctx in context_sweep:
+        contexts = [int(ctx)] * n_req
+        heads = [model.num_heads] * n_req
+        result.context_lengths.append(int(ctx))
+        result.time_by_context.append(executor.decode_attention_time(spec, contexts, heads))
+
+    # (c) fixed cache amount, varying the number of query heads: more requests,
+    # each with a proportionally shorter context, so the total KV bytes stay put.
+    fixed_cache_request_tokens = 800 * 1000
+    for k_heads in head_sweep_thousands:
+        total = k_heads * 1000
+        n = max(1, total // model.num_heads)
+        ctx = max(1, int(round(fixed_cache_request_tokens / n)))
+        contexts = [ctx] * n
+        heads = [model.num_heads] * n
+        result.head_counts.append(int(total))
+        result.time_by_heads.append(executor.decode_attention_time(spec, contexts, heads))
+    return result

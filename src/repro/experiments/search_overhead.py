@@ -1,0 +1,71 @@
+"""Section 7.4 "Searching overhead of primary worker parallelism".
+
+The paper reports that the Parallelizer generates the deployment for the local
+12-GPU cluster in about four seconds and that a large-scale simulation with
+five GPU types x 32 GPUs each finishes in about 15 seconds.  This driver times
+the search for both cluster shapes (our analytic cost model is much cheaper
+than theirs, so the absolute numbers are smaller -- the claim being reproduced
+is that the search is a negligible, one-off cost that scales to large
+clusters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.parallelizer import Parallelizer, WorkloadHint
+from repro.hardware.cluster import Cluster, ClusterBuilder, paper_cluster
+from repro.models.spec import get_model_spec
+
+
+@dataclass(frozen=True)
+class SearchOverheadResult:
+    """Search wall-clock time and volume for one cluster shape."""
+
+    cluster_name: str
+    num_devices: int
+    search_seconds: float
+    configs_evaluated: int
+    num_primary: int
+    num_attention_workers: int
+
+
+def large_scale_cluster(gpus_per_type: int = 32) -> Cluster:
+    """Five GPU types with ``gpus_per_type`` devices each (8 per host)."""
+    builder = ClusterBuilder()
+    for gpu_type in ("a100", "a6000", "v100", "rtx3090", "p100"):
+        remaining = gpus_per_type
+        while remaining > 0:
+            per_host = min(8, remaining)
+            builder.add_host(gpu_type, count=per_host)
+            remaining -= per_host
+    return builder.build()
+
+
+def run_search_overhead(
+    model_name: str = "llama-70b",
+    gpus_per_type: int = 32,
+    max_instances_large: int = 4,
+) -> List[SearchOverheadResult]:
+    """Time the Parallelizer on the paper cluster and on the large-scale cluster."""
+    model = get_model_spec(model_name)
+    results: List[SearchOverheadResult] = []
+
+    for name, cluster, max_instances in (
+        ("paper-cluster", paper_cluster(), None),
+        ("5-types-x-%d" % gpus_per_type, large_scale_cluster(gpus_per_type), max_instances_large),
+    ):
+        planner = Parallelizer(cluster, model, hint=WorkloadHint(), max_instances=max_instances)
+        plan = planner.plan()
+        results.append(
+            SearchOverheadResult(
+                cluster_name=name,
+                num_devices=cluster.num_devices,
+                search_seconds=plan.search_seconds,
+                configs_evaluated=plan.configs_evaluated,
+                num_primary=len(plan.primary_devices),
+                num_attention_workers=len(plan.attention_workers),
+            )
+        )
+    return results

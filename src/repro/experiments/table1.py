@@ -1,0 +1,81 @@
+"""Table 1: memory capacity and OPT-2.7B iteration time per GPU type.
+
+The paper profiles one batch (3 prefill requests, 25 decode requests) through
+all layers of OPT-2.7B on an A100, a 3090, and a P100, and reports the memory
+capacity alongside the prefill- and decode-phase iteration times.  The
+interesting quantities are the *ratios* (A100 is ~2.45x / 24.5x faster than
+3090 / P100 in prefill and ~1.47x / 7.93x in decode), which the calibrated
+roofline model reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hardware.gpu import get_gpu_spec
+from repro.models.flops import BatchProfile
+from repro.models.spec import get_model_spec
+from repro.perf.roofline import RooflineExecutor
+
+PAPER_PREFILL_RATIOS = {"a100": 1.0, "rtx3090": 2.45, "p100": 24.5}
+PAPER_DECODE_RATIOS = {"a100": 1.0, "rtx3090": 1.47, "p100": 7.93}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1."""
+
+    device: str
+    memory_gb: float
+    prefill_time_s: float
+    decode_time_s: float
+    prefill_ratio_vs_a100: float
+    decode_ratio_vs_a100: float
+
+
+def run_table1(
+    prompt_tokens: int = 512,
+    decode_context_tokens: int = 512,
+    num_prefill: int = 3,
+    num_decode: int = 25,
+    devices: List[str] = ("a100", "rtx3090", "p100"),
+) -> List[Table1Row]:
+    """Regenerate Table 1 with the calibrated device model."""
+    model = get_model_spec("opt-2.7b")
+    executor = RooflineExecutor(model)
+    prefill_batch = BatchProfile.prefill_only([prompt_tokens] * num_prefill)
+    decode_batch = BatchProfile.decode_only([decode_context_tokens] * num_decode)
+
+    times: Dict[str, Dict[str, float]] = {}
+    for name in devices:
+        spec = get_gpu_spec(name)
+        times[name] = {
+            "prefill": executor.full_model_time(spec, prefill_batch),
+            "decode": executor.full_model_time(spec, decode_batch),
+            "memory": spec.memory_gb,
+        }
+    ref = times[devices[0]]
+    rows = []
+    for name in devices:
+        rows.append(
+            Table1Row(
+                device=name,
+                memory_gb=times[name]["memory"],
+                prefill_time_s=times[name]["prefill"],
+                decode_time_s=times[name]["decode"],
+                prefill_ratio_vs_a100=times[name]["prefill"] / ref["prefill"],
+                decode_ratio_vs_a100=times[name]["decode"] / ref["decode"],
+            )
+        )
+    return rows
+
+
+def format_table(rows: List[Table1Row]) -> str:
+    """Render the rows the way the paper's Table 1 is laid out."""
+    lines = [f"{'Device':<10}{'Memory':>10}{'Prefill (s)':>14}{'Decode (s)':>14}"]
+    for row in rows:
+        lines.append(
+            f"{row.device:<10}{row.memory_gb:>8.0f}GB{row.prefill_time_s:>14.4f}{row.decode_time_s:>14.4f}"
+        )
+    return "\n".join(lines)

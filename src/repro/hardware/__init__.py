@@ -1,0 +1,38 @@
+"""Heterogeneous GPU cluster hardware model.
+
+This subpackage is the substitute for the physical testbed used in the paper
+(a host with 4x A100-80GB, two hosts with 2x RTX 3090 each, and a host with
+4x P100, interconnected by a 100 Gbps LAN with PCIe inside each host).
+
+It provides:
+
+* :class:`~repro.hardware.gpu.GPUSpec` and a calibrated catalog of GPU types,
+* :class:`~repro.hardware.gpu.GPUDevice` instances with memory accounting,
+* :class:`~repro.hardware.interconnect.Link` / :class:`~repro.hardware.interconnect.Interconnect`
+  implementing the alpha-beta communication cost model,
+* :class:`~repro.hardware.node.Host` and :class:`~repro.hardware.cluster.Cluster`
+  describing the topology, and
+* :func:`~repro.hardware.cluster.paper_cluster` which rebuilds the exact
+  cluster configuration of the evaluation section.
+"""
+
+from repro.hardware.gpu import GPUSpec, GPUDevice, GPU_CATALOG, get_gpu_spec, register_gpu_spec
+from repro.hardware.interconnect import Link, Interconnect, LinkKind
+from repro.hardware.node import Host
+from repro.hardware.cluster import Cluster, ClusterBuilder, paper_cluster, simple_cluster
+
+__all__ = [
+    "GPUSpec",
+    "GPUDevice",
+    "GPU_CATALOG",
+    "get_gpu_spec",
+    "register_gpu_spec",
+    "Link",
+    "Interconnect",
+    "LinkKind",
+    "Host",
+    "Cluster",
+    "ClusterBuilder",
+    "paper_cluster",
+    "simple_cluster",
+]

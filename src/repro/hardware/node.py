@@ -1,0 +1,50 @@
+"""Host (server) abstraction: a set of GPUs plus host-level resources."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hardware.gpu import GPUDevice
+
+
+@dataclass
+class Host:
+    """A physical server holding one or more GPUs.
+
+    Only the attributes the serving planners care about are modelled: the GPU
+    list, how many CPU cores are available for the head-wise block-indexing
+    acceleration (paper Section 6, "KV cache management"), and the host memory
+    available for swapped-out caches.
+    """
+
+    host_id: int
+    devices: List[GPUDevice] = field(default_factory=list)
+    cpu_cores: int = 32
+    host_memory_bytes: int = 512 * 10**9
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0:
+            raise ValueError("cpu_cores must be > 0")
+        if self.host_memory_bytes <= 0:
+            raise ValueError("host_memory_bytes must be > 0")
+        for dev in self.devices:
+            dev.host_id = self.host_id
+
+    def add_device(self, device: GPUDevice) -> GPUDevice:
+        """Attach a GPU to this host (fixing up its ``host_id``)."""
+        device.host_id = self.host_id
+        self.devices.append(device)
+        return device
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def total_gpu_memory_bytes(self) -> int:
+        return sum(d.spec.memory_bytes for d in self.devices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(d.spec.name for d in self.devices)
+        return f"Host({self.host_id}, gpus=[{kinds}])"

@@ -1,0 +1,132 @@
+"""Partial, head-wise KV-cache migration planning for the Hauler.
+
+Re-dispatching a request changes its per-device head allocation vector
+``x^j = (x^j_1, ..., x^j_N)``.  The Hauler exploits the overlap between the
+old and the new allocation: head groups that stay on a device are not moved at
+all, and only the net surplus flows from over-allocated to under-allocated
+devices.  :func:`plan_head_migration` computes that minimal set of transfers
+and their byte volumes; the simulator turns them into (possibly overlapped,
+low-priority) transfer events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.models.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """Move ``num_query_heads`` worth of one request's cache from ``src`` to ``dst``."""
+
+    seq_id: int
+    src_device: int
+    dst_device: int
+    num_query_heads: int
+    context_tokens: int
+    n_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.num_query_heads <= 0:
+            raise ValueError("a migration step must move at least one head")
+        if self.n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+
+
+@dataclass
+class MigrationPlan:
+    """A set of migration steps for one re-dispatching decision."""
+
+    steps: List[MigrationStep] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(s.n_bytes for s in self.steps)
+
+    @property
+    def moved_heads(self) -> int:
+        return sum(s.num_query_heads for s in self.steps)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.steps
+
+
+def plan_head_migration(
+    model: ModelSpec,
+    seq_id: int,
+    context_tokens: int,
+    old_allocation: Mapping[int, int],
+    new_allocation: Mapping[int, int],
+) -> MigrationPlan:
+    """Plan the minimal head-wise cache movement between two allocations.
+
+    Parameters
+    ----------
+    old_allocation / new_allocation:
+        Mappings from device id to the number of query heads of ``seq_id``
+        placed on that device.  Both must sum to the same total (the request's
+        head count does not change), otherwise a ``ValueError`` is raised --
+        head-level integrity (paper Eq. 5) would be violated.
+
+    Returns
+    -------
+    MigrationPlan
+        Greedy pairing of donors (devices losing heads) with receivers
+        (devices gaining heads).  The pairing order is deterministic (sorted
+        device ids) so the simulator is reproducible.
+    """
+    devices = set(old_allocation) | set(new_allocation)
+    old_total = sum(old_allocation.get(d, 0) for d in devices)
+    new_total = sum(new_allocation.get(d, 0) for d in devices)
+    if old_total != new_total:
+        raise ValueError(
+            f"head-level integrity violated for seq {seq_id}: "
+            f"old total {old_total} != new total {new_total}"
+        )
+    r = model.gqa_ratio
+    for name, alloc in (("old", old_allocation), ("new", new_allocation)):
+        for dev, heads in alloc.items():
+            if heads < 0:
+                raise ValueError(f"{name} allocation has negative heads on device {dev}")
+            if heads % r != 0:
+                raise ValueError(
+                    f"{name} allocation on device {dev} ({heads} heads) is not a multiple of r={r}"
+                )
+
+    surplus: Dict[int, int] = {}
+    deficit: Dict[int, int] = {}
+    for dev in devices:
+        delta = old_allocation.get(dev, 0) - new_allocation.get(dev, 0)
+        if delta > 0:
+            surplus[dev] = delta
+        elif delta < 0:
+            deficit[dev] = -delta
+
+    bytes_per_head = context_tokens * model.kv_bytes_per_token() / model.num_heads
+    steps: List[MigrationStep] = []
+    donors = sorted(surplus)
+    receivers = sorted(deficit)
+    di, ri = 0, 0
+    while di < len(donors) and ri < len(receivers):
+        donor, receiver = donors[di], receivers[ri]
+        moved = min(surplus[donor], deficit[receiver])
+        steps.append(
+            MigrationStep(
+                seq_id=seq_id,
+                src_device=donor,
+                dst_device=receiver,
+                num_query_heads=moved,
+                context_tokens=context_tokens,
+                n_bytes=moved * bytes_per_head,
+            )
+        )
+        surplus[donor] -= moved
+        deficit[receiver] -= moved
+        if surplus[donor] == 0:
+            di += 1
+        if deficit[receiver] == 0:
+            ri += 1
+    return MigrationPlan(steps=steps)

@@ -1,0 +1,22 @@
+"""LLM architecture specifications and analytic per-module cost accounting.
+
+The serving systems reproduced here never inspect weight values -- every
+planning and scheduling decision is a function of the architecture (layer
+count, hidden size, attention heads, GQA grouping, FFN width) and of the
+request state (context lengths, batch composition).  This subpackage provides
+those architectural facts plus exact FLOP and byte counts per module, which the
+roofline model in :mod:`repro.perf` turns into execution times.
+"""
+
+from repro.models.spec import ModelSpec, MODEL_CATALOG, get_model_spec, register_model_spec
+from repro.models.flops import ModuleCost, LayerCostModel, BatchProfile
+
+__all__ = [
+    "ModelSpec",
+    "MODEL_CATALOG",
+    "get_model_spec",
+    "register_model_spec",
+    "ModuleCost",
+    "LayerCostModel",
+    "BatchProfile",
+]

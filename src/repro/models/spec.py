@@ -1,0 +1,235 @@
+"""Transformer architecture specifications.
+
+The catalog covers every model the paper evaluates (Llama-13B, OPT-30B,
+Llama-70B) plus the ones used in its motivation section (OPT-2.7B for Table 1,
+a 7B model for the Fig.-1 memory example).  Llama-70B is a GQA model
+(8 KV heads for 64 query heads); the others are MHA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architectural description of a decoder-only transformer LLM.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case model name, e.g. ``"llama-70b"``.
+    num_layers:
+        Number of transformer layers.
+    hidden_size:
+        Model (embedding) dimension ``d``.
+    num_heads:
+        Number of query attention heads ``H``.
+    num_kv_heads:
+        Number of key/value heads.  Equal to ``num_heads`` for MHA; smaller
+        for GQA (the paper's ``r`` = num_heads / num_kv_heads ratio).
+    ffn_hidden_size:
+        Width of the feed-forward intermediate layer.
+    vocab_size:
+        Vocabulary size (embedding + LM-head parameters).
+    gated_mlp:
+        True for SwiGLU-style MLPs (three weight matrices: gate, up, down),
+        as in Llama; False for the classic two-matrix MLP, as in OPT.
+    dtype_bytes:
+        Bytes per parameter / activation element (2 for FP16).
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_hidden_size: int
+    vocab_size: int = 32000
+    gated_mlp: bool = True
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("num_layers", self.num_layers)
+        check_positive("hidden_size", self.hidden_size)
+        check_positive("num_heads", self.num_heads)
+        check_positive("num_kv_heads", self.num_kv_heads)
+        check_positive("ffn_hidden_size", self.ffn_hidden_size)
+        check_positive("vocab_size", self.vocab_size)
+        check_positive("dtype_bytes", self.dtype_bytes)
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError("num_heads must be divisible by num_kv_heads")
+
+    # -- derived dimensions ----------------------------------------------------
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``d / H``."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def gqa_ratio(self) -> int:
+        """The paper's ``r``: query heads per KV head group (1 for MHA... >1 for GQA)."""
+        return self.num_heads // self.num_kv_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key (or value) projection width ``num_kv_heads * head_dim``."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def is_gqa(self) -> bool:
+        return self.num_kv_heads < self.num_heads
+
+    # -- parameter and cache sizes ----------------------------------------------
+
+    @property
+    def layer_param_count(self) -> int:
+        """Parameters of one transformer layer (attention + MLP + norms)."""
+        d = self.hidden_size
+        attn = d * d + 2 * d * self.kv_dim + d * d  # Wq, Wk, Wv, Wo
+        if self.gated_mlp:
+            mlp = 3 * d * self.ffn_hidden_size
+        else:
+            mlp = 2 * d * self.ffn_hidden_size
+        norms = 2 * d
+        return attn + mlp + norms
+
+    @property
+    def embedding_param_count(self) -> int:
+        """Token embedding + LM head parameters (untied)."""
+        return 2 * self.vocab_size * self.hidden_size
+
+    @property
+    def total_param_count(self) -> int:
+        return self.num_layers * self.layer_param_count + self.embedding_param_count
+
+    @property
+    def param_bytes(self) -> int:
+        """Total parameter footprint in bytes at ``dtype_bytes`` precision."""
+        return self.total_param_count * self.dtype_bytes
+
+    @property
+    def layer_param_bytes(self) -> int:
+        return self.layer_param_count * self.dtype_bytes
+
+    def kv_bytes_per_token(self, num_layers: int | None = None) -> int:
+        """KV-cache bytes stored per token across ``num_layers`` layers.
+
+        Each token stores a key and a value vector of width ``kv_dim`` per
+        layer.  GQA models therefore need ``gqa_ratio`` times fewer bytes than
+        an equivalently sized MHA model, which is why the paper calls out the
+        Llama-70B (GQA) case separately in Fig. 11.
+        """
+        layers = self.num_layers if num_layers is None else num_layers
+        return 2 * self.kv_dim * self.dtype_bytes * layers
+
+    def kv_bytes_per_token_per_head_group(self, num_layers: int | None = None) -> float:
+        """KV bytes per token attributable to a single query-head *group*.
+
+        Hetis dispatches work in units of query heads but stores caches per KV
+        head group (``r`` query heads share one KV head).  Dividing the
+        per-token footprint by the number of KV heads gives the granularity the
+        head-wise dispatcher reasons about.
+        """
+        return self.kv_bytes_per_token(num_layers) / self.num_kv_heads
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "GQA" if self.is_gqa else "MHA"
+        return f"{self.name} ({self.num_layers}L, d={self.hidden_size}, {kind})"
+
+
+MODEL_CATALOG: Dict[str, ModelSpec] = {}
+
+
+def register_model_spec(spec: ModelSpec, overwrite: bool = False) -> ModelSpec:
+    """Add a model to the global catalog (used by tests for synthetic models)."""
+    key = spec.name.lower()
+    if key in MODEL_CATALOG and not overwrite:
+        raise ValueError(f"model spec {key!r} already registered")
+    MODEL_CATALOG[key] = spec
+    return spec
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up a model by (case-insensitive) name."""
+    key = name.lower().replace("_", "-")
+    try:
+        return MODEL_CATALOG[key]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; known models: {sorted(MODEL_CATALOG)}"
+        ) from exc
+
+
+# -- Evaluation models of the paper -------------------------------------------
+
+register_model_spec(
+    ModelSpec(
+        name="opt-2.7b",
+        num_layers=32,
+        hidden_size=2560,
+        num_heads=32,
+        num_kv_heads=32,
+        ffn_hidden_size=10240,
+        vocab_size=50272,
+        gated_mlp=False,
+    )
+)
+
+register_model_spec(
+    ModelSpec(
+        name="llama2-7b",
+        num_layers=32,
+        hidden_size=4096,
+        num_heads=32,
+        num_kv_heads=32,
+        ffn_hidden_size=11008,
+        vocab_size=32000,
+        gated_mlp=True,
+    )
+)
+
+register_model_spec(
+    ModelSpec(
+        name="llama-13b",
+        num_layers=40,
+        hidden_size=5120,
+        num_heads=40,
+        num_kv_heads=40,
+        ffn_hidden_size=13824,
+        vocab_size=32000,
+        gated_mlp=True,
+    )
+)
+
+register_model_spec(
+    ModelSpec(
+        name="opt-30b",
+        num_layers=48,
+        hidden_size=7168,
+        num_heads=56,
+        num_kv_heads=56,
+        ffn_hidden_size=28672,
+        vocab_size=50272,
+        gated_mlp=False,
+    )
+)
+
+register_model_spec(
+    ModelSpec(
+        name="llama-70b",
+        num_layers=80,
+        hidden_size=8192,
+        num_heads=64,
+        num_kv_heads=8,
+        ffn_hidden_size=28672,
+        vocab_size=32000,
+        gated_mlp=True,
+    )
+)

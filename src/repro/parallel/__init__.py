@@ -1,0 +1,31 @@
+"""Parallel-configuration substrate shared by Hetis and the baselines.
+
+Defines the configuration objects that describe how a model replica is laid
+out over devices (pipeline stages, tensor-parallel groups, optional asymmetric
+shard fractions, Hetis' Attention-worker pool), plus the generic utilities the
+planners build on: layer-to-stage partitioning and device grouping into
+data-parallel serving instances.
+"""
+
+from repro.parallel.config import (
+    StageConfig,
+    InstanceParallelConfig,
+    ClusterParallelConfig,
+)
+from repro.parallel.partitioner import (
+    partition_layers_balanced,
+    partition_layers_proportional,
+    max_stage_cost,
+)
+from repro.parallel.placement import group_devices_evenly, feasible_instance_counts
+
+__all__ = [
+    "StageConfig",
+    "InstanceParallelConfig",
+    "ClusterParallelConfig",
+    "partition_layers_balanced",
+    "partition_layers_proportional",
+    "max_stage_cost",
+    "group_devices_evenly",
+    "feasible_instance_counts",
+]

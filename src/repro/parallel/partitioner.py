@@ -1,0 +1,136 @@
+"""Layer-to-stage partitioning utilities.
+
+The Parallelizer's intermediate step (paper Sec. 4.1, Fig. 4 step 2) maps the
+model's layers onto pipeline stages formed by grouping GPUs of the same type,
+minimizing the *maximum per-stage computation cost* ``C_p`` under the
+assumption of perfect latency scaling within a stage and ignoring
+communication.  Because layers are identical, the cost of a stage is simply
+``num_layers * per_layer_time / stage_speed``, so the optimal split is the
+proportional-to-speed split rounded to integers; :func:`partition_layers_balanced`
+does the rounding optimally by largest-remainder assignment followed by a
+local repair pass, and is exact for this cost structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def partition_layers_proportional(num_layers: int, speeds: Sequence[float]) -> List[int]:
+    """Split ``num_layers`` across stages proportionally to ``speeds``.
+
+    Uses largest-remainder rounding so the counts always sum to ``num_layers``.
+    Stages with zero speed receive zero layers.
+    """
+    if num_layers <= 0:
+        raise ValueError("num_layers must be > 0")
+    speeds = np.asarray(list(speeds), dtype=float)
+    if speeds.size == 0:
+        raise ValueError("need at least one stage")
+    if np.any(speeds < 0):
+        raise ValueError("speeds must be >= 0")
+    total_speed = speeds.sum()
+    if total_speed == 0:
+        raise ValueError("at least one stage must have positive speed")
+    ideal = num_layers * speeds / total_speed
+    floors = np.floor(ideal).astype(int)
+    remainder = num_layers - int(floors.sum())
+    # Assign leftover layers to the stages with the largest fractional parts.
+    order = np.argsort(-(ideal - floors))
+    counts = floors.copy()
+    for idx in order[:remainder]:
+        counts[idx] += 1
+    return [int(c) for c in counts]
+
+
+def max_stage_cost(layer_counts: Sequence[int], speeds: Sequence[float], per_layer_cost: float = 1.0) -> float:
+    """The C_p objective: maximum stage time for a given layer assignment.
+
+    ``speeds`` are relative throughputs (layers per unit time at
+    ``per_layer_cost`` = 1); stages with zero layers contribute zero cost.
+    """
+    counts = np.asarray(list(layer_counts), dtype=float)
+    speeds = np.asarray(list(speeds), dtype=float)
+    if counts.shape != speeds.shape:
+        raise ValueError("layer_counts and speeds must align")
+    costs = np.zeros_like(counts)
+    nonzero = counts > 0
+    if np.any(nonzero & (speeds <= 0)):
+        return float("inf")
+    costs[nonzero] = counts[nonzero] * per_layer_cost / speeds[nonzero]
+    return float(costs.max()) if costs.size else 0.0
+
+
+def partition_layers_balanced(
+    num_layers: int,
+    speeds: Sequence[float],
+    min_layers_per_stage: int = 1,
+) -> List[int]:
+    """Assign layers to stages minimizing the maximum stage time.
+
+    Starts from the proportional split and then performs a greedy repair that
+    moves a layer from the current bottleneck stage to the stage that would
+    remain cheapest, as long as this strictly reduces the bottleneck.  With
+    identical layers this converges to an optimal integral assignment.
+
+    ``min_layers_per_stage`` keeps every stage non-empty (a pipeline stage with
+    zero layers would be meaningless); set it to 0 to allow dropping stages.
+    """
+    speeds = list(speeds)
+    n_stages = len(speeds)
+    if n_stages == 0:
+        raise ValueError("need at least one stage")
+    if min_layers_per_stage * n_stages > num_layers:
+        raise ValueError(
+            f"cannot give each of {n_stages} stages {min_layers_per_stage} layers "
+            f"out of only {num_layers}"
+        )
+    counts = partition_layers_proportional(num_layers, speeds)
+    # Enforce the minimum by stealing from the currently cheapest stages.
+    for i in range(n_stages):
+        while counts[i] < min_layers_per_stage:
+            donor = int(
+                np.argmin(
+                    [
+                        (counts[j] - 1) / speeds[j] if counts[j] > min_layers_per_stage and speeds[j] > 0 else np.inf
+                        for j in range(n_stages)
+                    ]
+                )
+            )
+            if counts[donor] <= min_layers_per_stage:
+                raise ValueError("cannot satisfy min_layers_per_stage with these speeds")
+            counts[donor] -= 1
+            counts[i] += 1
+
+    def bottleneck(c: List[int]) -> float:
+        return max_stage_cost(c, speeds)
+
+    improved = True
+    while improved:
+        improved = False
+        current = bottleneck(counts)
+        # Identify the bottleneck stage and try to shed one layer to any other stage.
+        stage_costs = [
+            counts[i] / speeds[i] if speeds[i] > 0 else (np.inf if counts[i] else 0.0)
+            for i in range(n_stages)
+        ]
+        src = int(np.argmax(stage_costs))
+        if counts[src] <= min_layers_per_stage:
+            break
+        best_dst, best_cost = None, current
+        for dst in range(n_stages):
+            if dst == src or speeds[dst] <= 0:
+                continue
+            trial = list(counts)
+            trial[src] -= 1
+            trial[dst] += 1
+            cost = bottleneck(trial)
+            if cost < best_cost - 1e-12:
+                best_cost, best_dst = cost, dst
+        if best_dst is not None:
+            counts[src] -= 1
+            counts[best_dst] += 1
+            improved = True
+    return counts

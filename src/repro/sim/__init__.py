@@ -1,0 +1,45 @@
+"""Iteration-level discrete-event serving simulator.
+
+The simulator stands in for the vLLM execution engine of the real prototype.
+It models:
+
+* request arrival, queueing, routing across data-parallel instances,
+* continuous batching at iteration granularity (prefill admission + one decode
+  step per running request per iteration),
+* paged KV-cache admission, growth, preemption, and migration,
+* pipeline-stage and tensor-parallel execution timing via the roofline model,
+* per-request metrics (TTFT, TPOT, normalized latency) and per-iteration
+  module latencies, plus time-series traces of cache usage and head placement.
+
+Systems (Hetis and the baselines) are built by composing
+:class:`~repro.sim.units.ExecutionUnit` objects inside a
+:class:`~repro.sim.engine.ServingSystem`; the :class:`~repro.sim.engine.Engine`
+runs any system against a workload trace.
+"""
+
+from repro.sim.request import Request, RequestStatus
+from repro.sim.iteration import Iteration, IterationOutcome
+from repro.sim.metrics import MetricsCollector, RequestRecord, SummaryStats, percentile
+from repro.sim.recorder import TimeSeriesRecorder
+from repro.sim.scheduler import ContinuousBatchingPolicy, SchedulerLimits
+from repro.sim.units import ExecutionUnit, StaticPipelineUnit
+from repro.sim.engine import Engine, ServingSystem, SimulationResult
+
+__all__ = [
+    "Request",
+    "RequestStatus",
+    "Iteration",
+    "IterationOutcome",
+    "MetricsCollector",
+    "RequestRecord",
+    "SummaryStats",
+    "percentile",
+    "TimeSeriesRecorder",
+    "ContinuousBatchingPolicy",
+    "SchedulerLimits",
+    "ExecutionUnit",
+    "StaticPipelineUnit",
+    "Engine",
+    "ServingSystem",
+    "SimulationResult",
+]

@@ -1,0 +1,208 @@
+"""The discrete-event engine and the serving-system abstraction.
+
+A :class:`ServingSystem` is a named collection of execution units plus the
+routing and hand-off logic between them (data-parallel routing, Splitwise's
+prefill -> decode migration, Hetis' dispatcher hooks).  The :class:`Engine`
+replays a workload trace against a system: it maintains a global event queue
+of request arrivals, iteration completions, and deferred hand-offs, and
+collects metrics and time-series traces as the simulation advances.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.iteration import Iteration, IterationOutcome
+from repro.sim.metrics import MetricsCollector, SummaryStats
+from repro.sim.recorder import TimeSeriesRecorder
+from repro.sim.request import Request
+from repro.sim.units import ExecutionUnit
+from repro.workloads.trace import Trace
+
+
+class ServingSystem(abc.ABC):
+    """A complete serving deployment: units plus routing/hand-off policy."""
+
+    name: str = "system"
+
+    @property
+    @abc.abstractmethod
+    def units(self) -> List[ExecutionUnit]:
+        """All execution units of the system, each clocked independently."""
+
+    @abc.abstractmethod
+    def route(self, request: Request, now: float) -> ExecutionUnit:
+        """Choose the unit that accepts a fresh arrival."""
+
+    def on_iteration(
+        self,
+        unit: ExecutionUnit,
+        iteration: Iteration,
+        outcome: IterationOutcome,
+        now: float,
+        recorder: TimeSeriesRecorder,
+    ) -> List[Tuple[ExecutionUnit, Request, float]]:
+        """Hook called after each iteration completes.
+
+        Returns deferred enqueues as ``(target_unit, request, ready_time)``
+        triples -- this is how Splitwise expresses its KV-cache migration
+        latency and how Hetis schedules hauled requests.  The default keeps
+        everything local and records per-device cache utilization.
+        """
+        for dev_name, util in unit.kv_utilization().items():
+            recorder.record("cache_usage", dev_name, now, util)
+        return []
+
+    def available_cache_bytes(self) -> float:
+        """Total KV-cache capacity of the deployment (Fig. 11 metric)."""
+        return float(sum(u.available_kv_bytes() for u in self.units))
+
+    def describe(self) -> str:
+        """Human-readable configuration summary for logs and reports."""
+        return f"{self.name}: " + "; ".join(u.name for u in self.units)
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one simulation run."""
+
+    system_name: str
+    summary: SummaryStats
+    metrics: MetricsCollector
+    recorder: TimeSeriesRecorder
+    available_cache_bytes: float
+    num_dropped: int = 0
+    wall_clock_events: int = 0
+
+    @property
+    def normalized_latency(self) -> float:
+        return self.summary.mean_normalized_latency
+
+    @property
+    def p95_ttft(self) -> float:
+        return self.summary.p95_ttft
+
+    @property
+    def p95_tpot(self) -> float:
+        return self.summary.p95_tpot
+
+
+# Event kinds, ordered so ties at identical timestamps resolve deterministically:
+# hand-offs land before arrivals, arrivals before iteration completions.
+_KIND_ENQUEUE = 0
+_KIND_ARRIVAL = 1
+_KIND_UNIT_DONE = 2
+
+
+class Engine:
+    """Replays a trace against a serving system.
+
+    Parameters
+    ----------
+    system:
+        The deployment under test.
+    max_simulated_time:
+        Safety limit (seconds of simulated time) after which the run stops and
+        whatever finished so far is reported.
+    max_events:
+        Hard cap on processed events to guarantee termination even for
+        pathological configurations.
+    """
+
+    def __init__(
+        self,
+        system: ServingSystem,
+        max_simulated_time: float = 24 * 3600.0,
+        max_events: int = 2_000_000,
+    ) -> None:
+        self.system = system
+        self.max_simulated_time = max_simulated_time
+        self.max_events = max_events
+        self.metrics = MetricsCollector()
+        self.recorder = TimeSeriesRecorder()
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate the full trace and return aggregated results."""
+        counter = itertools.count()
+        events: List[Tuple[float, int, int, object]] = []
+        for idx, entry in enumerate(trace):
+            request = Request(
+                request_id=idx,
+                arrival_time=entry.arrival_time,
+                prompt_tokens=entry.prompt_tokens,
+                output_tokens=entry.output_tokens,
+            )
+            heapq.heappush(events, (entry.arrival_time, _KIND_ARRIVAL, next(counter), request))
+
+        busy: Dict[str, bool] = {unit.name: False for unit in self.system.units}
+        in_flight: Dict[str, Iteration] = {}
+        processed = 0
+        now = 0.0
+
+        def maybe_start(unit: ExecutionUnit, at: float) -> None:
+            if busy[unit.name] or not unit.has_work():
+                return
+            iteration = unit.next_iteration(at)
+            if iteration is None:
+                return
+            busy[unit.name] = True
+            in_flight[unit.name] = iteration
+            heapq.heappush(events, (at + iteration.duration, _KIND_UNIT_DONE, next(counter), unit))
+
+        while events:
+            processed += 1
+            if processed > self.max_events:
+                break
+            time, kind, _, payload = heapq.heappop(events)
+            now = time
+            if now > self.max_simulated_time:
+                break
+
+            if kind == _KIND_ARRIVAL:
+                request = payload  # type: ignore[assignment]
+                self.metrics.observe_arrival(now)
+                unit = self.system.route(request, now)
+                unit.enqueue(request, now)
+                maybe_start(unit, now)
+
+            elif kind == _KIND_ENQUEUE:
+                unit, request = payload  # type: ignore[misc]
+                if request.status.value == "migrating":
+                    request.end_migration()
+                unit.enqueue_prefilled(request, now)
+                maybe_start(unit, now)
+
+            elif kind == _KIND_UNIT_DONE:
+                unit = payload  # type: ignore[assignment]
+                iteration = in_flight.pop(unit.name)
+                busy[unit.name] = False
+                outcome = unit.complete_iteration(iteration, now)
+                if iteration.has_decode and not iteration.prefill_requests:
+                    self.metrics.observe_module_times(iteration.module_times)
+                for req in outcome.finished:
+                    self.metrics.observe_finish(req)
+                deferred = self.system.on_iteration(unit, iteration, outcome, now, self.recorder)
+                for target, req, ready_time in deferred:
+                    heapq.heappush(
+                        events, (max(ready_time, now), _KIND_ENQUEUE, next(counter), (target, req))
+                    )
+                maybe_start(unit, now)
+                # An iteration may have freed capacity other units were waiting on.
+                for other in self.system.units:
+                    if other is not unit:
+                        maybe_start(other, now)
+
+        num_dropped = sum(len(getattr(u, "dropped", [])) for u in self.system.units)
+        return SimulationResult(
+            system_name=self.system.name,
+            summary=self.metrics.summary(),
+            metrics=self.metrics,
+            recorder=self.recorder,
+            available_cache_bytes=self.system.available_cache_bytes(),
+            num_dropped=num_dropped,
+            wall_clock_events=processed,
+        )

@@ -1,0 +1,65 @@
+"""Iteration and outcome records exchanged between units and the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.request import Request
+
+
+@dataclass
+class Iteration:
+    """One engine iteration planned by an execution unit.
+
+    ``duration`` is the wall-clock time the iteration occupies the unit.
+    ``module_times`` breaks the duration into named contributions (``"mlp"``,
+    ``"attention"``, ``"dense"``, ``"comm"`` ...) for the module-latency
+    experiments; only decode iterations feed those figures.
+    """
+
+    duration: float
+    prefill_requests: List[Request] = field(default_factory=list)
+    decode_requests: List[Request] = field(default_factory=list)
+    module_times: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("iteration duration must be >= 0")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.prefill_requests and not self.decode_requests
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.prefill_requests) + len(self.decode_requests)
+
+    @property
+    def has_decode(self) -> bool:
+        return bool(self.decode_requests)
+
+
+@dataclass
+class IterationOutcome:
+    """What happened when an iteration completed.
+
+    ``finished`` requests have produced their last token; ``handoffs`` are
+    requests that must move to another unit (Splitwise prefill -> decode),
+    together with the KV bytes that must travel.
+    """
+
+    finished: List[Request] = field(default_factory=list)
+    handoffs: List["Handoff"] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """A request leaving one unit for another, with its migration payload."""
+
+    request: Request
+    kv_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.kv_bytes < 0:
+            raise ValueError("kv_bytes must be >= 0")

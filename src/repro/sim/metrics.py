@@ -1,0 +1,140 @@
+"""Metrics collection and summary statistics for serving experiments.
+
+The collector accumulates per-request records and per-iteration module-time
+samples; :class:`SummaryStats` exposes the aggregates the paper reports
+(mean / P95 of normalized latency, TTFT, TPOT, and decode-phase module
+latencies) plus throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.request import Request
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile helper that tolerates empty input (returns 0.0)."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Frozen per-request metrics extracted once a request finishes."""
+
+    request_id: int
+    arrival_time: float
+    finish_time: float
+    prompt_tokens: int
+    output_tokens: int
+    ttft: float
+    tpot: float
+    normalized_latency: float
+    num_preemptions: int
+    num_redispatches: int
+
+    @staticmethod
+    def from_request(req: Request) -> "RequestRecord":
+        if not req.is_finished:
+            raise ValueError(f"request {req.request_id} has not finished")
+        return RequestRecord(
+            request_id=req.request_id,
+            arrival_time=req.arrival_time,
+            finish_time=float(req.finish_time),
+            prompt_tokens=req.prompt_tokens,
+            output_tokens=req.generated_tokens,
+            ttft=float(req.ttft),
+            tpot=float(req.tpot),
+            normalized_latency=float(req.normalized_latency),
+            num_preemptions=req.num_preemptions,
+            num_redispatches=req.num_redispatches,
+        )
+
+
+@dataclass
+class SummaryStats:
+    """Aggregate statistics over a completed simulation."""
+
+    num_finished: int
+    duration: float
+    mean_normalized_latency: float
+    p95_normalized_latency: float
+    mean_ttft: float
+    p95_ttft: float
+    mean_tpot: float
+    p95_tpot: float
+    throughput_rps: float
+    throughput_tokens_per_s: float
+    total_preemptions: int
+    p95_module_latency: Dict[str, float] = field(default_factory=dict)
+    mean_module_latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def normalized_latency(self) -> float:
+        """Alias used by the end-to-end figures (mean s/token)."""
+        return self.mean_normalized_latency
+
+
+class MetricsCollector:
+    """Accumulates request records and module-time samples during a run."""
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+        self.module_samples: Dict[str, List[float]] = {}
+        self._start_time: Optional[float] = None
+        self._end_time: float = 0.0
+
+    # -- recording ------------------------------------------------------------------
+
+    def observe_arrival(self, now: float) -> None:
+        if self._start_time is None or now < self._start_time:
+            self._start_time = now
+        self._end_time = max(self._end_time, now)
+
+    def observe_finish(self, request: Request) -> None:
+        self.records.append(RequestRecord.from_request(request))
+        self._end_time = max(self._end_time, float(request.finish_time))
+
+    def observe_module_times(self, module_times: Dict[str, float]) -> None:
+        """Record one decode iteration's per-module latencies."""
+        for name, value in module_times.items():
+            self.module_samples.setdefault(name, []).append(float(value))
+
+    # -- aggregation -----------------------------------------------------------------
+
+    @property
+    def num_finished(self) -> int:
+        return len(self.records)
+
+    def summary(self) -> SummaryStats:
+        start = self._start_time or 0.0
+        duration = max(self._end_time - start, 1e-9)
+        lat = [r.normalized_latency for r in self.records]
+        ttft = [r.ttft for r in self.records]
+        tpot = [r.tpot for r in self.records]
+        tokens = sum(r.output_tokens for r in self.records)
+        return SummaryStats(
+            num_finished=len(self.records),
+            duration=duration,
+            mean_normalized_latency=float(np.mean(lat)) if lat else 0.0,
+            p95_normalized_latency=percentile(lat, 95),
+            mean_ttft=float(np.mean(ttft)) if ttft else 0.0,
+            p95_ttft=percentile(ttft, 95),
+            mean_tpot=float(np.mean(tpot)) if tpot else 0.0,
+            p95_tpot=percentile(tpot, 95),
+            throughput_rps=len(self.records) / duration,
+            throughput_tokens_per_s=tokens / duration,
+            total_preemptions=sum(r.num_preemptions for r in self.records),
+            p95_module_latency={k: percentile(v, 95) for k, v in self.module_samples.items()},
+            mean_module_latency={
+                k: float(np.mean(v)) if v else 0.0 for k, v in self.module_samples.items()
+            },
+        )

@@ -1,0 +1,67 @@
+"""Time-series recording of per-device resource usage.
+
+The dynamic-behaviour figure of the paper (Fig. 14) plots, over wall-clock
+time, each device's KV-cache utilization and the number of Attention heads it
+is serving.  :class:`TimeSeriesRecorder` collects arbitrary named per-device
+series at irregular timestamps and can resample them to a regular grid for
+plotting or for assertions in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TimeSeriesRecorder:
+    """Append-only store of (time, value) samples per (series, key)."""
+
+    samples: Dict[str, Dict[str, List[Tuple[float, float]]]] = field(default_factory=dict)
+
+    def record(self, series: str, key: str, time: float, value: float) -> None:
+        """Append one sample, e.g. ``record("cache_usage", "a100:0", 12.5, 0.73)``."""
+        if time < 0:
+            raise ValueError("time must be >= 0")
+        self.samples.setdefault(series, {}).setdefault(key, []).append((float(time), float(value)))
+
+    def record_many(self, series: str, time: float, values: Dict[str, float]) -> None:
+        for key, value in values.items():
+            self.record(series, key, time, value)
+
+    # -- queries -----------------------------------------------------------------
+
+    def series_names(self) -> List[str]:
+        return sorted(self.samples)
+
+    def keys(self, series: str) -> List[str]:
+        return sorted(self.samples.get(series, {}))
+
+    def raw(self, series: str, key: str) -> List[Tuple[float, float]]:
+        return list(self.samples.get(series, {}).get(key, []))
+
+    def last_value(self, series: str, key: str) -> float:
+        data = self.samples.get(series, {}).get(key)
+        if not data:
+            return 0.0
+        return data[-1][1]
+
+    def max_value(self, series: str, key: str) -> float:
+        data = self.samples.get(series, {}).get(key)
+        if not data:
+            return 0.0
+        return max(v for _, v in data)
+
+    def resample(self, series: str, key: str, grid: Sequence[float]) -> np.ndarray:
+        """Piecewise-constant (last observation carried forward) resampling."""
+        data = self.samples.get(series, {}).get(key, [])
+        grid = np.asarray(list(grid), dtype=float)
+        if not data:
+            return np.zeros_like(grid)
+        times = np.array([t for t, _ in data])
+        values = np.array([v for _, v in data])
+        idx = np.searchsorted(times, grid, side="right") - 1
+        out = np.where(idx >= 0, values[np.clip(idx, 0, len(values) - 1)], 0.0)
+        return out

@@ -1,0 +1,150 @@
+"""The request object tracked through the serving simulation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class RequestStatus(str, enum.Enum):
+    """Lifecycle states of a request inside a serving system."""
+
+    QUEUED = "queued"          # waiting for prefill admission
+    PREFILLING = "prefilling"  # prefill iteration in flight
+    MIGRATING = "migrating"    # KV cache being moved (Splitwise hand-off)
+    DECODING = "decoding"      # generating tokens
+    PREEMPTED = "preempted"    # evicted; must re-run prefill
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """A single inference request and its runtime bookkeeping.
+
+    The target ``output_tokens`` plays the role of the (unknown to the
+    system, known to the simulator) generation length: the system only
+    discovers a request is finished when the last token is produced,
+    mirroring the EOS-termination uncertainty the paper highlights.
+    """
+
+    request_id: int
+    arrival_time: float
+    prompt_tokens: int
+    output_tokens: int
+
+    status: RequestStatus = RequestStatus.QUEUED
+    generated_tokens: int = 0
+    prefill_completion_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    token_times: List[float] = field(default_factory=list)
+    num_preemptions: int = 0
+    num_redispatches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be > 0")
+        if self.output_tokens <= 0:
+            raise ValueError("output_tokens must be > 0")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+
+    # -- derived state ----------------------------------------------------------
+
+    @property
+    def context_length(self) -> int:
+        """Tokens currently in the request's context (prompt + generated)."""
+        return self.prompt_tokens + self.generated_tokens
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status == RequestStatus.FINISHED
+
+    @property
+    def remaining_tokens(self) -> int:
+        return max(0, self.output_tokens - self.generated_tokens)
+
+    # -- lifecycle transitions ----------------------------------------------------
+
+    def start_prefill(self) -> None:
+        if self.status not in (RequestStatus.QUEUED, RequestStatus.PREEMPTED):
+            raise RuntimeError(f"cannot start prefill from status {self.status}")
+        self.status = RequestStatus.PREFILLING
+
+    def complete_prefill(self, now: float) -> None:
+        """Prefill produced the first output token at time ``now``."""
+        if self.status != RequestStatus.PREFILLING:
+            raise RuntimeError(f"cannot complete prefill from status {self.status}")
+        if self.prefill_completion_time is None:
+            self.prefill_completion_time = now
+        self.generated_tokens += 1
+        self.token_times.append(now)
+        if self.generated_tokens >= self.output_tokens:
+            self._finish(now)
+        else:
+            self.status = RequestStatus.DECODING
+
+    def add_decode_token(self, now: float) -> None:
+        """One decode iteration produced a token for this request at ``now``."""
+        if self.status != RequestStatus.DECODING:
+            raise RuntimeError(f"cannot decode in status {self.status}")
+        self.generated_tokens += 1
+        self.token_times.append(now)
+        if self.generated_tokens >= self.output_tokens:
+            self._finish(now)
+
+    def preempt(self) -> None:
+        """Evict the request; its cache is dropped and prefill must be redone.
+
+        Generated tokens are retained logically (the recomputed prefill covers
+        prompt + generated tokens), matching vLLM's recompute-on-preempt.
+        """
+        if self.is_finished:
+            raise RuntimeError("cannot preempt a finished request")
+        self.status = RequestStatus.PREEMPTED
+        self.num_preemptions += 1
+
+    def begin_migration(self) -> None:
+        if self.status not in (RequestStatus.PREFILLING, RequestStatus.DECODING):
+            raise RuntimeError(f"cannot migrate from status {self.status}")
+        self.status = RequestStatus.MIGRATING
+
+    def end_migration(self) -> None:
+        if self.status != RequestStatus.MIGRATING:
+            raise RuntimeError("request is not migrating")
+        self.status = RequestStatus.DECODING
+
+    def _finish(self, now: float) -> None:
+        self.status = RequestStatus.FINISHED
+        self.finish_time = now
+
+    # -- metrics ----------------------------------------------------------------------
+
+    @property
+    def ttft(self) -> Optional[float]:
+        """Time to first token."""
+        if self.prefill_completion_time is None:
+            return None
+        return self.prefill_completion_time - self.arrival_time
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Mean time per output token after the first one."""
+        if self.finish_time is None or self.prefill_completion_time is None:
+            return None
+        if self.generated_tokens <= 1:
+            return 0.0
+        return (self.finish_time - self.prefill_completion_time) / (self.generated_tokens - 1)
+
+    @property
+    def normalized_latency(self) -> Optional[float]:
+        """End-to-end latency divided by output length (the paper's s/token metric)."""
+        if self.finish_time is None:
+            return None
+        return (self.finish_time - self.arrival_time) / self.generated_tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request({self.request_id}, {self.status.value}, "
+            f"prompt={self.prompt_tokens}, out={self.generated_tokens}/{self.output_tokens})"
+        )

@@ -1,0 +1,75 @@
+"""Continuous-batching admission policy shared by all execution units.
+
+An execution unit keeps a FIFO waiting queue of requests needing prefill and a
+set of running (decoding) requests.  At every iteration boundary the policy
+decides which waiting requests to admit, subject to:
+
+* a per-iteration prefill token budget (avoids head-of-line blocking of decode
+  by huge prompts, mirroring vLLM's ``max_num_batched_tokens``),
+* a maximum number of concurrently running requests, and
+* a caller-supplied admission check (typically "does the KV cache have room"),
+
+which is exactly the Orca/vLLM continuous-batching behaviour the paper builds
+upon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, List
+
+from repro.sim.request import Request
+
+
+@dataclass(frozen=True)
+class SchedulerLimits:
+    """Static limits of the continuous-batching policy."""
+
+    max_running_requests: int = 256
+    max_prefill_tokens_per_iteration: int = 8192
+    max_prefills_per_iteration: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_running_requests <= 0:
+            raise ValueError("max_running_requests must be > 0")
+        if self.max_prefill_tokens_per_iteration <= 0:
+            raise ValueError("max_prefill_tokens_per_iteration must be > 0")
+        if self.max_prefills_per_iteration <= 0:
+            raise ValueError("max_prefills_per_iteration must be > 0")
+
+
+class ContinuousBatchingPolicy:
+    """Selects which waiting requests join the next iteration."""
+
+    def __init__(self, limits: SchedulerLimits | None = None) -> None:
+        self.limits = limits or SchedulerLimits()
+
+    def select_prefills(
+        self,
+        waiting: Deque[Request],
+        num_running: int,
+        can_admit: Callable[[Request], bool],
+    ) -> List[Request]:
+        """Pop admissible requests off ``waiting`` (FIFO, no reordering).
+
+        Admission stops at the first request that does not fit, preserving
+        FIFO fairness; the caller is responsible for actually reserving cache
+        space inside ``can_admit`` or immediately afterwards.
+        """
+        admitted: List[Request] = []
+        budget = self.limits.max_prefill_tokens_per_iteration
+        slots = self.limits.max_running_requests - num_running
+        while waiting and slots > 0 and len(admitted) < self.limits.max_prefills_per_iteration:
+            candidate = waiting[0]
+            needed = candidate.context_length
+            if needed > budget and admitted:
+                break  # keep the big prompt for its own iteration
+            if not can_admit(candidate):
+                break  # FIFO: do not skip ahead of a blocked request
+            waiting.popleft()
+            admitted.append(candidate)
+            budget -= needed
+            slots -= 1
+            if budget <= 0:
+                break
+        return admitted

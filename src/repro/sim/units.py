@@ -1,0 +1,413 @@
+"""Execution units: the per-replica iteration loops of a serving system.
+
+An :class:`ExecutionUnit` owns a waiting queue, a running batch, and the KV
+cache of one model replica (or one phase-specific replica for Splitwise), and
+turns batches into timed :class:`~repro.sim.iteration.Iteration` objects.
+:class:`StaticPipelineUnit` implements the conventional execution model used
+by the baselines and by Hetis' Primary workers for dense computation: a
+pipeline of (possibly asymmetric) tensor-parallel stages with token-granular
+paged KV caches and vLLM-style LIFO preemption.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.hardware.cluster import Cluster
+from repro.kvcache.block_manager import PagedBlockManager
+from repro.models.flops import BatchProfile, LayerCostModel
+from repro.models.spec import ModelSpec
+from repro.parallel.config import InstanceParallelConfig, StageConfig
+from repro.perf.commcost import CommModel
+from repro.perf.roofline import RooflineExecutor
+from repro.sim.iteration import Handoff, Iteration, IterationOutcome
+from repro.sim.request import Request, RequestStatus
+from repro.sim.scheduler import ContinuousBatchingPolicy, SchedulerLimits
+
+
+class ExecutionUnit(abc.ABC):
+    """One independently clocked iteration loop of a serving system."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- request ingress ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def enqueue(self, request: Request, now: float) -> None:
+        """Accept a fresh request that still needs its prefill."""
+
+    def enqueue_prefilled(self, request: Request, now: float) -> None:
+        """Accept a request whose prefill ran elsewhere (Splitwise hand-off)."""
+        raise NotImplementedError(f"{self.name} does not accept prefilled requests")
+
+    # -- iteration protocol --------------------------------------------------------
+
+    @abc.abstractmethod
+    def has_work(self) -> bool:
+        """Whether the unit could make progress if stepped now."""
+
+    @abc.abstractmethod
+    def next_iteration(self, now: float) -> Optional[Iteration]:
+        """Plan the next iteration (batch selection + timing), or ``None`` if idle."""
+
+    @abc.abstractmethod
+    def complete_iteration(self, iteration: Iteration, now: float) -> IterationOutcome:
+        """Apply the effects of a finished iteration at time ``now``."""
+
+    # -- introspection ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def kv_utilization(self) -> Dict[str, float]:
+        """Per-device KV-cache utilization in [0, 1]."""
+
+    @abc.abstractmethod
+    def available_kv_bytes(self) -> float:
+        """Total KV-cache bytes this unit can ever host (capacity, not free space)."""
+
+    @property
+    @abc.abstractmethod
+    def num_waiting(self) -> int:
+        ...
+
+    @property
+    @abc.abstractmethod
+    def num_running(self) -> int:
+        ...
+
+    @property
+    def load(self) -> int:
+        """Routing heuristic: requests currently owned by this unit."""
+        return self.num_waiting + self.num_running
+
+
+class StaticPipelineUnit(ExecutionUnit):
+    """Pipeline-parallel, (asymmetric) tensor-parallel execution unit.
+
+    Parameters
+    ----------
+    config:
+        The instance's stage layout.  ``attention_workers`` in the config are
+        ignored by this unit (they are a Hetis concept).
+    mode:
+        ``"both"`` runs prefill and decode (HexGen, plain TP); ``"prefill"``
+        only prefills and hands requests off; ``"decode"`` only accepts
+        prefilled requests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: InstanceParallelConfig,
+        model: ModelSpec,
+        cluster: Cluster,
+        limits: SchedulerLimits | None = None,
+        mode: str = "both",
+    ) -> None:
+        super().__init__(name)
+        if mode not in ("both", "prefill", "decode"):
+            raise ValueError(f"invalid mode {mode!r}")
+        config.validate_layer_count(model)
+        self.config = config
+        self.model = model
+        self.cluster = cluster
+        self.mode = mode
+        self.executor = RooflineExecutor(model)
+        self.cost_model = LayerCostModel(model)
+        self.comm = CommModel(cluster, model)
+        self.policy = ContinuousBatchingPolicy(limits)
+
+        # Per-device KV share: fraction of a request's total KV bytes stored on
+        # each device = (layers on the device / all layers) * its shard fraction.
+        total_layers = config.total_layers
+        self._share: Dict[int, float] = {}
+        for stage in config.stages:
+            layer_frac = stage.num_layers / total_layers
+            for dev, frac in zip(stage.devices, stage.fractions()):
+                self._share[dev.device_id] = self._share.get(dev.device_id, 0.0) + layer_frac * frac
+        kv_capacity = config.kv_capacity_per_device(model)
+        self._managers: Dict[int, PagedBlockManager] = {}
+        self._device_names: Dict[int, str] = {}
+        for dev in config.primary_devices:
+            share = self._share.get(dev.device_id, 0.0)
+            if share <= 0:
+                continue
+            self._managers[dev.device_id] = PagedBlockManager(
+                capacity_bytes=kv_capacity[dev.device_id],
+                kv_bytes_per_token=model.kv_bytes_per_token() * share,
+            )
+            self._device_names[dev.device_id] = dev.name
+
+        self.waiting: Deque[Request] = deque()
+        self.pending_prefilled: Deque[Request] = deque()
+        self.running: List[Request] = []
+        self.dropped: List[Request] = []
+
+    # -- ingress -----------------------------------------------------------------------
+
+    def enqueue(self, request: Request, now: float) -> None:
+        if self.mode == "decode":
+            raise RuntimeError(f"{self.name} is decode-only and cannot prefill")
+        self.waiting.append(request)
+
+    def enqueue_prefilled(self, request: Request, now: float) -> None:
+        if self.mode == "prefill":
+            raise RuntimeError(f"{self.name} is prefill-only and cannot decode")
+        self.pending_prefilled.append(request)
+
+    # -- cache helpers -------------------------------------------------------------------
+
+    def _can_host(self, context_tokens: int) -> bool:
+        return all(m.can_allocate(context_tokens) for m in self._managers.values())
+
+    def _allocate(self, request: Request, context_tokens: int) -> None:
+        for manager in self._managers.values():
+            manager.allocate(request.request_id, context_tokens)
+
+    def _free(self, request: Request) -> None:
+        for manager in self._managers.values():
+            if manager.has_sequence(request.request_id):
+                manager.free(request.request_id)
+
+    def _can_append_all(self, request: Request) -> bool:
+        return all(m.can_append(request.request_id) for m in self._managers.values())
+
+    def _append_all(self, request: Request) -> None:
+        for manager in self._managers.values():
+            manager.append(request.request_id)
+
+    def _preempt(self, victim: Request) -> None:
+        """Drop the victim's cache and send it back for re-prefill (LIFO policy)."""
+        self._free(victim)
+        victim.preempt()
+        if victim in self.running:
+            self.running.remove(victim)
+        self.waiting.appendleft(victim)
+
+    def _ensure_appendable(self, request: Request) -> bool:
+        """Make room for one more token of ``request``, preempting LIFO if needed.
+
+        Returns False when the request itself had to be preempted.
+        """
+        while not self._can_append_all(request):
+            victims = [r for r in self.running if r.status == RequestStatus.DECODING]
+            if not victims:
+                return False
+            victim = victims[-1]
+            if victim is request and len(victims) == 1:
+                self._preempt(request)
+                return False
+            if victim is request:
+                victim = victims[-2]
+            self._preempt(victim)
+        return True
+
+    # -- iteration planning ---------------------------------------------------------------
+
+    def has_work(self) -> bool:
+        return bool(self.running or self.waiting or self.pending_prefilled)
+
+    def next_iteration(self, now: float) -> Optional[Iteration]:
+        # 1. Decode step for every running request that still fits.
+        decode_requests: List[Request] = []
+        for req in list(self.running):
+            if req.status != RequestStatus.DECODING:
+                continue
+            if self._ensure_appendable(req):
+                decode_requests.append(req)
+        decode_requests = [r for r in decode_requests if r in self.running]
+
+        # 2. Admit prefilled hand-offs (decode / both modes).
+        while self.pending_prefilled:
+            candidate = self.pending_prefilled[0]
+            if len(self.running) >= self.policy.limits.max_running_requests:
+                break
+            if not self._can_host(candidate.context_length):
+                if not self.running and len(self.pending_prefilled) == 1:
+                    # Cannot ever fit: drop instead of deadlocking the unit.
+                    self.pending_prefilled.popleft()
+                    self.dropped.append(candidate)
+                    continue
+                break
+            self.pending_prefilled.popleft()
+            self._allocate(candidate, candidate.context_length)
+            candidate.status = RequestStatus.DECODING
+            self.running.append(candidate)
+            decode_requests.append(candidate)
+
+        # 3. Admit new prefills (prefill / both modes).
+        prefill_requests: List[Request] = []
+        if self.mode in ("both", "prefill"):
+            prefill_requests = self.policy.select_prefills(
+                self.waiting,
+                num_running=len(self.running),
+                can_admit=lambda r: self._can_host(r.context_length),
+            )
+            for req in prefill_requests:
+                self._allocate(req, req.context_length)
+                req.start_prefill()
+                self.running.append(req)
+            if (
+                not prefill_requests
+                and not decode_requests
+                and self.waiting
+                and not self.running
+                and not self._can_host(self.waiting[0].context_length)
+            ):
+                # A request that can never fit alone would deadlock the unit.
+                self.dropped.append(self.waiting.popleft())
+
+        if not prefill_requests and not decode_requests:
+            return None
+
+        batch = BatchProfile(
+            prefill_lengths=[r.context_length for r in prefill_requests],
+            decode_contexts=[r.context_length for r in decode_requests],
+        )
+        duration, module_times = self._iteration_time(batch)
+        return Iteration(
+            duration=duration,
+            prefill_requests=prefill_requests,
+            decode_requests=decode_requests,
+            module_times=module_times,
+        )
+
+    # -- timing -----------------------------------------------------------------------------
+
+    def _stage_times(self, stage: StageConfig, batch: BatchProfile) -> Dict[str, float]:
+        """Per-layer module times of one stage (max over its TP shard devices)."""
+        tokens = batch.total_tokens
+        dense_t = mlp_t = attn_t = 0.0
+        for dev, frac in zip(stage.devices, stage.fractions()):
+            if frac <= 0:
+                continue
+            heads = max(self.model.gqa_ratio, int(round(self.model.num_heads * frac)))
+            dense_cost = self.cost_model.dense_cost(batch).scaled(frac)
+            mlp_cost = self.cost_model.mlp_cost(tokens).scaled(frac)
+            pre_attn = self.cost_model.prefill_attention_batch_cost(batch, heads)
+            dec_attn = self.cost_model.decode_attention_batch_cost(
+                batch.decode_contexts, [heads] * len(batch.decode_contexts)
+            )
+            dense_t = max(dense_t, self.executor.module_time(dense_cost, dev.spec, tokens))
+            mlp_t = max(mlp_t, self.executor.module_time(mlp_cost, dev.spec, tokens))
+            attn_t = max(
+                attn_t,
+                self.executor.attention_module_time(pre_attn, dev.spec)
+                + self.executor.attention_module_time(dec_attn, dev.spec),
+            )
+        comm_t = 0.0
+        if stage.tp_degree > 1:
+            comm_t = 2.0 * self.comm.tp_allreduce_time(stage.devices, tokens)
+        return {"dense": dense_t, "mlp": mlp_t, "attention": attn_t, "comm": comm_t}
+
+    def _iteration_time(self, batch: BatchProfile) -> tuple[float, Dict[str, float]]:
+        """Total iteration duration plus the module-latency metrics.
+
+        The duration is the latency of the batch traversing the full pipeline
+        (sum of stage times plus hidden-state hand-offs); the module metrics
+        follow the paper's definition (max per-stage module time multiplied by
+        the number of stages, reflecting pipeline bubbles).
+        """
+        tokens = batch.total_tokens
+        n_stages = len(self.config.stages)
+        stage_totals: List[float] = []
+        max_mlp = max_attn = 0.0
+        for stage in self.config.stages:
+            per_layer = self._stage_times(stage, batch)
+            stage_total = stage.num_layers * (
+                per_layer["dense"] + per_layer["attention"] + per_layer["comm"]
+            )
+            stage_totals.append(stage_total)
+            max_mlp = max(max_mlp, stage.num_layers * per_layer["mlp"])
+            max_attn = max(max_attn, stage.num_layers * per_layer["attention"])
+        # LM head on the last stage.
+        last_stage = self.config.stages[-1]
+        lm_head = self.executor.lm_head_time(
+            last_stage.devices[0].spec, tokens, tp_degree=last_stage.tp_degree
+        )
+        handoff = 0.0
+        for prev, nxt in zip(self.config.stages[:-1], self.config.stages[1:]):
+            handoff += self.comm.pipeline_handoff_time(prev.devices[-1], nxt.devices[0], tokens)
+        duration = sum(stage_totals) + lm_head + handoff
+        module_times = {
+            "mlp": max_mlp * n_stages,
+            "attention": max_attn * n_stages,
+            "iteration": duration,
+        }
+        return duration, module_times
+
+    # -- iteration completion ----------------------------------------------------------------
+
+    def complete_iteration(self, iteration: Iteration, now: float) -> IterationOutcome:
+        outcome = IterationOutcome()
+        for req in iteration.decode_requests:
+            if req not in self.running or req.status != RequestStatus.DECODING:
+                continue  # got preempted after planning (should not happen, defensive)
+            # Appends of earlier requests in this very iteration may have taken
+            # the last free blocks; re-establish appendability (possibly by
+            # preempting LIFO victims) before committing this request's token.
+            if not self._ensure_appendable(req) or req not in self.running:
+                continue
+            self._append_all(req)
+            if req.prefill_completion_time is None:
+                # Disaggregated hand-off: the first token is only produced once
+                # the migrated cache lands on the decode workers, so the
+                # migration delay is part of TTFT (the effect the paper
+                # attributes Splitwise's prefill-latency penalty to).
+                req.status = RequestStatus.PREFILLING
+                req.complete_prefill(now)
+            else:
+                req.add_decode_token(now)
+            if req.is_finished:
+                self._free(req)
+                self.running.remove(req)
+                outcome.finished.append(req)
+        for req in iteration.prefill_requests:
+            if req not in self.running:
+                continue
+            if self.mode == "prefill":
+                kv_bytes = req.context_length * self.model.kv_bytes_per_token()
+                self._free(req)
+                self.running.remove(req)
+                req.begin_migration()
+                outcome.handoffs.append(Handoff(request=req, kv_bytes=kv_bytes))
+                continue
+            req.complete_prefill(now)
+            if req.is_finished:
+                self._free(req)
+                self.running.remove(req)
+                outcome.finished.append(req)
+        return outcome
+
+    # -- introspection ---------------------------------------------------------------------------
+
+    def kv_utilization(self) -> Dict[str, float]:
+        return {
+            self._device_names[dev_id]: manager.stats().utilization
+            for dev_id, manager in self._managers.items()
+        }
+
+    def available_kv_bytes(self) -> float:
+        """Effective KV capacity: what the bottleneck device lets the unit host.
+
+        Every admitted request consumes cache on *all* devices in proportion to
+        their layer/shard share, so the number of tokens the unit can hold is
+        limited by the device whose per-token share exhausts first -- this is
+        the computation/memory-imbalance waste the paper illustrates in
+        Fig. 1(b) and measures in Fig. 11.  The value reported here is that
+        hostable token count priced at the full per-token KV footprint.
+        """
+        if not self._managers:
+            return 0.0
+        hostable_tokens = min(m.total_blocks * m.block_size for m in self._managers.values())
+        return float(hostable_tokens * self.model.kv_bytes_per_token())
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self.waiting) + len(self.pending_prefilled)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)

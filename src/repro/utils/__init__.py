@@ -1,0 +1,38 @@
+"""Small shared utilities: unit helpers, deterministic RNG, validation."""
+
+from repro.utils.units import (
+    GB,
+    MB,
+    KB,
+    GIB,
+    MIB,
+    KIB,
+    bytes_to_gb,
+    gb_to_bytes,
+    seconds_to_ms,
+    ms_to_seconds,
+    tera,
+    giga,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.validation import check_positive, check_non_negative, check_in
+
+__all__ = [
+    "GB",
+    "MB",
+    "KB",
+    "GIB",
+    "MIB",
+    "KIB",
+    "bytes_to_gb",
+    "gb_to_bytes",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "tera",
+    "giga",
+    "make_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_in",
+]

@@ -1,0 +1,32 @@
+"""Tiny argument-validation helpers used across the package.
+
+Keeping validation in one place gives consistent error messages and keeps the
+hot simulation paths free of ad-hoc ``assert`` statements (which disappear
+under ``python -O``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Raise ``ValueError`` unless ``value`` is a member of ``allowed``."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

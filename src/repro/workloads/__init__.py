@@ -1,0 +1,39 @@
+"""Synthetic workload generation: request traces and arrival processes.
+
+The paper evaluates three applications -- chatbot (ShareGPT), code completion
+(HumanEval), and long-document summarization (LongBench).  The actual text is
+irrelevant to the serving systems; only the joint distribution of prompt and
+output lengths and the arrival process matter.  This subpackage generates
+synthetic traces whose length distributions match the published summary
+statistics of those datasets, plus Poisson and piecewise-constant (bursty)
+arrival processes.
+"""
+
+from repro.workloads.datasets import (
+    DatasetSpec,
+    DATASET_CATALOG,
+    get_dataset_spec,
+    sample_requests,
+    RequestSample,
+)
+from repro.workloads.arrivals import (
+    poisson_arrivals,
+    constant_rate_arrivals,
+    piecewise_rate_arrivals,
+    RatePhase,
+)
+from repro.workloads.trace import Trace, generate_trace
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_CATALOG",
+    "get_dataset_spec",
+    "sample_requests",
+    "RequestSample",
+    "poisson_arrivals",
+    "constant_rate_arrivals",
+    "piecewise_rate_arrivals",
+    "RatePhase",
+    "Trace",
+    "generate_trace",
+]

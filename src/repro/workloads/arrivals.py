@@ -1,0 +1,78 @@
+"""Arrival processes: Poisson, constant-gap, and piecewise (bursty) rates.
+
+The end-to-end experiments (Figs. 8--10, 12) use Poisson arrivals at a range
+of rates; the dynamic-behaviour study (Fig. 14) uses a piecewise rate schedule
+(5 req/s, then idle, then 2.5 req/s, then idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def poisson_arrivals(rate: float, n: int, seed: int | np.random.Generator = 0, start: float = 0.0) -> List[float]:
+    """``n`` arrival timestamps of a Poisson process with ``rate`` requests/s."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    rng = make_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    return list(start + np.cumsum(gaps))
+
+
+def constant_rate_arrivals(rate: float, n: int, start: float = 0.0) -> List[float]:
+    """``n`` evenly spaced arrivals at ``rate`` requests/s (deterministic)."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    gap = 1.0 / rate
+    return [start + gap * (i + 1) for i in range(n)]
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """One segment of a piecewise-constant arrival schedule."""
+
+    rate: float       # requests per second; 0 means an idle gap
+    duration: float   # seconds
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+
+
+def piecewise_rate_arrivals(
+    phases: Sequence[RatePhase],
+    seed: int | np.random.Generator = 0,
+    start: float = 0.0,
+) -> List[float]:
+    """Poisson arrivals whose rate follows a piecewise-constant schedule.
+
+    Used to reproduce the Fig.-14 scenario (rps 5 -> 0 -> 2.5 -> 0).  Phases
+    with rate 0 simply advance time.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    rng = make_rng(seed)
+    arrivals: List[float] = []
+    t = start
+    for phase in phases:
+        end = t + phase.duration
+        if phase.rate > 0:
+            cur = t
+            while True:
+                cur += rng.exponential(1.0 / phase.rate)
+                if cur >= end:
+                    break
+                arrivals.append(cur)
+        t = end
+    return arrivals

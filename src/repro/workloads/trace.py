@@ -1,0 +1,91 @@
+"""Traces: request samples joined with arrival timestamps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.utils.rng import spawn_rngs
+from repro.workloads.arrivals import RatePhase, piecewise_rate_arrivals, poisson_arrivals
+from repro.workloads.datasets import RequestSample, get_dataset_spec
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """A single arrival: timestamp plus the request's prompt/output lengths."""
+
+    arrival_time: float
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        if self.prompt_tokens <= 0 or self.output_tokens <= 0:
+            raise ValueError("token counts must be positive")
+
+
+@dataclass
+class Trace:
+    """An ordered list of request arrivals fed to the serving simulator."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+    dataset: str = ""
+    request_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.entries = sorted(self.entries, key=lambda e: e.arrival_time)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def duration(self) -> float:
+        return self.entries[-1].arrival_time if self.entries else 0.0
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(e.prompt_tokens for e in self.entries)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(e.output_tokens for e in self.entries)
+
+    @property
+    def mean_context_tokens(self) -> float:
+        """Mean final context length (prompt + output), used for planning."""
+        if not self.entries:
+            return 0.0
+        return sum(e.prompt_tokens + e.output_tokens for e in self.entries) / len(self.entries)
+
+
+def generate_trace(
+    dataset: str,
+    request_rate: float,
+    num_requests: int,
+    seed: int = 0,
+    phases: Sequence[RatePhase] | None = None,
+) -> Trace:
+    """Build a trace for a named dataset.
+
+    Either a constant Poisson ``request_rate`` is used for ``num_requests``
+    arrivals, or, when ``phases`` is given, a piecewise schedule (in which case
+    ``num_requests`` caps the number of entries kept and ``request_rate`` is
+    recorded for bookkeeping only).
+    """
+    arrival_rng, length_rng = spawn_rngs(seed, 2)
+    if phases is not None:
+        times = piecewise_rate_arrivals(phases, seed=arrival_rng)
+        if num_requests:
+            times = times[:num_requests]
+    else:
+        times = poisson_arrivals(request_rate, num_requests, seed=arrival_rng)
+    samples = get_dataset_spec(dataset).sample(length_rng, len(times))
+    entries = [
+        TraceEntry(arrival_time=t, prompt_tokens=s.prompt_tokens, output_tokens=s.output_tokens)
+        for t, s in zip(times, samples)
+    ]
+    return Trace(entries=entries, dataset=dataset, request_rate=request_rate)

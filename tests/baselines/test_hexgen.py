@@ -1,0 +1,65 @@
+"""Tests for the HexGen baseline planner and system."""
+
+import pytest
+
+from repro.baselines.hexgen import build_hexgen_system, plan_hexgen_config
+from repro.hardware.cluster import ClusterBuilder, paper_cluster
+from repro.models.spec import get_model_spec
+from repro.sim.engine import Engine
+from repro.workloads.trace import generate_trace
+
+
+class TestPlanner:
+    def test_stages_are_homogeneous_per_host(self):
+        config = plan_hexgen_config(paper_cluster(), get_model_spec("llama-70b"))
+        instance = config.instances[0]
+        for stage in instance.stages:
+            types = {d.spec.name for d in stage.devices}
+            hosts = {d.host_id for d in stage.devices}
+            assert len(types) == 1 and len(hosts) == 1
+
+    def test_four_stages_on_paper_cluster(self):
+        """Matches the paper's HexGen deployment: one stage per homogeneous group."""
+        config = plan_hexgen_config(paper_cluster(), get_model_spec("llama-70b"))
+        assert len(config.instances[0].stages) == 4
+
+    def test_layers_skewed_towards_faster_stages(self):
+        config = plan_hexgen_config(paper_cluster(), get_model_spec("llama-70b"))
+        stages = config.instances[0].stages
+        a100_layers = next(s.num_layers for s in stages if s.devices[0].spec.name == "a100")
+        p100_layers = next(s.num_layers for s in stages if s.devices[0].spec.name == "p100")
+        assert a100_layers > p100_layers
+
+    def test_layers_cover_model(self):
+        model = get_model_spec("opt-30b")
+        config = plan_hexgen_config(paper_cluster(), model)
+        assert config.instances[0].total_layers == model.num_layers
+
+    def test_memory_repair_moves_layers_off_small_devices(self):
+        model = get_model_spec("llama-70b")
+        config = plan_hexgen_config(paper_cluster(), model)
+        assert config.instances[0].fits_in_memory(model)
+
+    def test_data_parallel_instances(self):
+        config = plan_hexgen_config(paper_cluster(), get_model_spec("llama-13b"), num_instances=2)
+        assert len(config.instances) == 2
+
+    def test_model_too_large_raises(self):
+        tiny = ClusterBuilder().add_host("p100", 2).build()
+        with pytest.raises(MemoryError):
+            plan_hexgen_config(tiny, get_model_spec("llama-70b"))
+
+
+class TestSystem:
+    def test_end_to_end_run(self):
+        system = build_hexgen_system(paper_cluster(), get_model_spec("llama-13b"))
+        result = Engine(system).run(generate_trace("sharegpt", 5.0, 12, seed=0))
+        assert result.summary.num_finished == 12
+        assert result.summary.mean_normalized_latency > 0
+
+    def test_available_cache_limited_by_bottleneck(self):
+        """HexGen's effective cache reflects the computation/memory imbalance (Fig. 1b)."""
+        model = get_model_spec("llama-13b")
+        system = build_hexgen_system(paper_cluster(), model)
+        usable_total = sum(d.usable_bytes for d in paper_cluster().devices) - model.param_bytes
+        assert system.available_cache_bytes() < usable_total

@@ -1,0 +1,44 @@
+"""Tests for the uniform static pipeline reference."""
+
+import pytest
+
+from repro.baselines.static_tp import build_static_tp_system, plan_static_tp_config
+from repro.hardware.cluster import ClusterBuilder, paper_cluster
+from repro.models.spec import get_model_spec
+from repro.sim.engine import Engine
+from repro.workloads.trace import generate_trace
+
+
+def test_layers_spread_evenly():
+    config = plan_static_tp_config(paper_cluster(), get_model_spec("llama-70b"))
+    layers = [s.num_layers for s in config.instances[0].stages]
+    assert max(layers) - min(layers) <= 1
+    assert sum(layers) == 80
+
+
+def test_every_host_group_gets_a_stage():
+    config = plan_static_tp_config(paper_cluster(), get_model_spec("llama-13b"))
+    assert len(config.instances[0].stages) == 4
+
+
+def test_memory_error_for_oversized_model():
+    tiny = ClusterBuilder().add_host("p100", 2).build()
+    with pytest.raises(MemoryError):
+        build_static_tp_system(tiny, get_model_spec("llama-70b"))
+
+
+def test_end_to_end_run():
+    system = build_static_tp_system(paper_cluster(), get_model_spec("llama-13b"))
+    result = Engine(system).run(generate_trace("humaneval", 10.0, 12, seed=0))
+    assert result.summary.num_finished == 12
+
+
+def test_uniform_split_slower_than_hexgen_skewed_split():
+    """The heterogeneity-aware skew should beat the uniform split on this cluster."""
+    from repro.baselines.hexgen import build_hexgen_system
+
+    model = get_model_spec("llama-13b")
+    trace = generate_trace("sharegpt", 8.0, 30, seed=2)
+    uniform = Engine(build_static_tp_system(paper_cluster(), model)).run(trace)
+    skewed = Engine(build_hexgen_system(paper_cluster(), model)).run(trace)
+    assert skewed.summary.mean_normalized_latency < uniform.summary.mean_normalized_latency

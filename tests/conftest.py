@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cluster import ClusterBuilder, paper_cluster, simple_cluster
+from repro.models.spec import get_model_spec
+
+
+@pytest.fixture
+def cluster():
+    """The paper's 12-GPU evaluation cluster (fresh per test: devices are mutable)."""
+    return paper_cluster()
+
+
+@pytest.fixture
+def small_cluster():
+    """A compact 1x A100 + 2x 3090 cluster for fast serving tests."""
+    return simple_cluster("a100", "rtx3090", n_high=1, n_low=2)
+
+
+@pytest.fixture
+def two_type_cluster():
+    """One A100 host and one P100 host (used by communication-pattern tests)."""
+    return ClusterBuilder().add_host("a100", 1).add_host("p100", 2).build()
+
+
+@pytest.fixture
+def llama13b():
+    return get_model_spec("llama-13b")
+
+
+@pytest.fixture
+def llama70b():
+    return get_model_spec("llama-70b")
+
+
+@pytest.fixture
+def opt30b():
+    return get_model_spec("opt-30b")
+
+
+@pytest.fixture
+def opt27b():
+    return get_model_spec("opt-2.7b")

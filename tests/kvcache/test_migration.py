@@ -1,0 +1,86 @@
+"""Tests for head-wise migration planning."""
+
+import pytest
+
+from repro.kvcache.migration import plan_head_migration
+from repro.models.spec import get_model_spec
+
+
+@pytest.fixture
+def llama70b():
+    return get_model_spec("llama-70b")
+
+
+@pytest.fixture
+def llama13b():
+    return get_model_spec("llama-13b")
+
+
+def test_identical_allocations_no_movement(llama13b):
+    alloc = {0: 20, 1: 20}
+    plan = plan_head_migration(llama13b, seq_id=1, context_tokens=500, old_allocation=alloc, new_allocation=alloc)
+    assert plan.is_empty
+    assert plan.total_bytes == 0.0
+
+
+def test_partial_overlap_moves_only_delta(llama13b):
+    old = {0: 30, 1: 10}
+    new = {0: 20, 1: 20}
+    plan = plan_head_migration(llama13b, 1, 1000, old, new)
+    assert plan.moved_heads == 10
+    assert len(plan.steps) == 1
+    step = plan.steps[0]
+    assert step.src_device == 0 and step.dst_device == 1
+    expected_bytes = 10 * 1000 * llama13b.kv_bytes_per_token() / llama13b.num_heads
+    assert step.n_bytes == pytest.approx(expected_bytes)
+
+
+def test_full_move_to_new_device(llama13b):
+    old = {0: 40}
+    new = {2: 40}
+    plan = plan_head_migration(llama13b, 5, 200, old, new)
+    assert plan.moved_heads == 40
+    assert plan.steps[0].dst_device == 2
+
+
+def test_multiple_donors_and_receivers(llama13b):
+    old = {0: 20, 1: 20, 2: 0}
+    new = {0: 10, 1: 10, 2: 20}
+    plan = plan_head_migration(llama13b, 9, 100, old, new)
+    assert plan.moved_heads == 20
+    assert {s.src_device for s in plan.steps} == {0, 1}
+    assert all(s.dst_device == 2 for s in plan.steps)
+
+
+def test_integrity_violation_rejected(llama13b):
+    with pytest.raises(ValueError, match="integrity"):
+        plan_head_migration(llama13b, 1, 100, {0: 40}, {0: 30})
+
+
+def test_group_size_violation_rejected(llama70b):
+    # r = 8 for llama-70b: allocations must be multiples of 8.
+    with pytest.raises(ValueError, match="not a multiple"):
+        plan_head_migration(llama70b, 1, 100, {0: 60, 1: 4}, {0: 56, 1: 8})
+
+
+def test_gqa_plan_valid_groups(llama70b):
+    old = {0: 64}
+    new = {0: 32, 1: 32}
+    plan = plan_head_migration(llama70b, 1, 800, old, new)
+    assert plan.moved_heads == 32
+    assert plan.total_bytes == pytest.approx(32 * 800 * llama70b.kv_bytes_per_token() / 64)
+
+
+def test_negative_allocation_rejected(llama13b):
+    with pytest.raises(ValueError):
+        plan_head_migration(llama13b, 1, 100, {0: -10, 1: 50}, {0: 20, 1: 20})
+
+
+def test_deterministic_pairing(llama13b):
+    old = {3: 10, 1: 10, 2: 20}
+    new = {3: 0, 1: 0, 2: 40}
+    plan_a = plan_head_migration(llama13b, 1, 100, old, new)
+    plan_b = plan_head_migration(llama13b, 1, 100, old, new)
+    assert [(s.src_device, s.dst_device, s.num_query_heads) for s in plan_a.steps] == [
+        (s.src_device, s.dst_device, s.num_query_heads) for s in plan_b.steps
+    ]

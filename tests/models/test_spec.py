@@ -1,0 +1,112 @@
+"""Tests for transformer model specifications."""
+
+import pytest
+
+from repro.models.spec import MODEL_CATALOG, ModelSpec, get_model_spec, register_model_spec
+
+
+def test_catalog_contains_paper_models():
+    for name in ("opt-2.7b", "llama-13b", "opt-30b", "llama-70b"):
+        assert name in MODEL_CATALOG
+
+
+def test_get_model_spec_normalises_name():
+    assert get_model_spec("LLAMA_70B") is get_model_spec("llama-70b")
+
+
+def test_get_model_spec_unknown():
+    with pytest.raises(KeyError):
+        get_model_spec("gpt-5")
+
+
+def test_llama70b_is_gqa_with_ratio_8():
+    m = get_model_spec("llama-70b")
+    assert m.is_gqa
+    assert m.gqa_ratio == 8
+    assert m.num_kv_heads == 8
+
+
+def test_mha_models_have_ratio_1():
+    for name in ("llama-13b", "opt-30b", "opt-2.7b"):
+        m = get_model_spec(name)
+        assert not m.is_gqa
+        assert m.gqa_ratio == 1
+
+
+def test_head_dim_consistency():
+    for m in MODEL_CATALOG.values():
+        assert m.head_dim * m.num_heads == m.hidden_size
+
+
+def test_param_counts_are_close_to_nominal_sizes():
+    # Within ~15% of the nominal "NB" name of each model.
+    expectations = {"opt-2.7b": 2.7e9, "llama-13b": 13e9, "opt-30b": 30e9, "llama-70b": 70e9}
+    for name, nominal in expectations.items():
+        params = get_model_spec(name).total_param_count
+        assert params == pytest.approx(nominal, rel=0.15)
+
+
+def test_param_bytes_fp16():
+    m = get_model_spec("llama-13b")
+    assert m.param_bytes == m.total_param_count * 2
+
+
+def test_kv_bytes_per_token_gqa_smaller_than_mha_equivalent():
+    gqa = get_model_spec("llama-70b")
+    # An MHA model of the same width/depth would need gqa_ratio x more KV bytes.
+    mha_equiv = ModelSpec(
+        name="llama-70b-mha-test",
+        num_layers=gqa.num_layers,
+        hidden_size=gqa.hidden_size,
+        num_heads=gqa.num_heads,
+        num_kv_heads=gqa.num_heads,
+        ffn_hidden_size=gqa.ffn_hidden_size,
+    )
+    assert mha_equiv.kv_bytes_per_token() == gqa.kv_bytes_per_token() * gqa.gqa_ratio
+
+
+def test_kv_bytes_per_token_scales_with_layers():
+    m = get_model_spec("llama-13b")
+    assert m.kv_bytes_per_token(num_layers=10) * 4 == m.kv_bytes_per_token(num_layers=40)
+
+
+def test_kv_bytes_per_head_group():
+    m = get_model_spec("llama-70b")
+    assert m.kv_bytes_per_token_per_head_group() * m.num_kv_heads == pytest.approx(
+        m.kv_bytes_per_token()
+    )
+
+
+def test_paper_memory_example_llama2_13b_10k_sequence():
+    """The intro's example: a 10k-token sequence on a 13B-class model needs >8 GB of KV."""
+    m = get_model_spec("llama-13b")
+    assert m.kv_bytes_per_token() * 10_000 > 8e9
+
+
+def test_spec_validation_head_divisibility():
+    with pytest.raises(ValueError):
+        ModelSpec(
+            name="bad",
+            num_layers=2,
+            hidden_size=100,
+            num_heads=7,
+            num_kv_heads=7,
+            ffn_hidden_size=400,
+        )
+
+
+def test_spec_validation_gqa_divisibility():
+    with pytest.raises(ValueError):
+        ModelSpec(
+            name="bad2",
+            num_layers=2,
+            hidden_size=128,
+            num_heads=8,
+            num_kv_heads=3,
+            ffn_hidden_size=512,
+        )
+
+
+def test_register_duplicate_model_rejected():
+    with pytest.raises(ValueError):
+        register_model_spec(get_model_spec("llama-13b"))

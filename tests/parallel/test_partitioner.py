@@ -1,0 +1,85 @@
+"""Tests for layer-to-stage partitioning."""
+
+import pytest
+
+from repro.parallel.partitioner import (
+    max_stage_cost,
+    partition_layers_balanced,
+    partition_layers_proportional,
+)
+
+
+class TestProportional:
+    def test_sums_to_total(self):
+        for speeds in ([1, 1], [5, 3, 1], [10, 1, 1, 1]):
+            counts = partition_layers_proportional(80, speeds)
+            assert sum(counts) == 80
+
+    def test_equal_speeds_equal_split(self):
+        assert partition_layers_proportional(40, [1.0, 1.0]) == [20, 20]
+
+    def test_proportionality(self):
+        counts = partition_layers_proportional(80, [3.0, 1.0])
+        assert counts == [60, 20]
+
+    def test_zero_speed_gets_zero_layers(self):
+        counts = partition_layers_proportional(10, [1.0, 0.0])
+        assert counts == [10, 0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_layers_proportional(0, [1.0])
+        with pytest.raises(ValueError):
+            partition_layers_proportional(10, [])
+        with pytest.raises(ValueError):
+            partition_layers_proportional(10, [0.0, 0.0])
+        with pytest.raises(ValueError):
+            partition_layers_proportional(10, [-1.0, 2.0])
+
+
+class TestMaxStageCost:
+    def test_balanced_cost(self):
+        assert max_stage_cost([10, 10], [1.0, 1.0]) == pytest.approx(10.0)
+
+    def test_bottleneck_dominates(self):
+        assert max_stage_cost([10, 1], [1.0, 0.01]) == pytest.approx(100.0)
+
+    def test_zero_layer_stage_free(self):
+        assert max_stage_cost([10, 0], [1.0, 0.0]) == pytest.approx(10.0)
+
+    def test_infeasible_zero_speed_with_layers(self):
+        assert max_stage_cost([1, 1], [1.0, 0.0]) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_stage_cost([1, 2, 3], [1.0, 1.0])
+
+
+class TestBalanced:
+    def test_sums_to_total_and_respects_minimum(self):
+        counts = partition_layers_balanced(80, [10.0, 4.0, 0.5])
+        assert sum(counts) == 80
+        assert all(c >= 1 for c in counts)
+
+    def test_no_worse_than_proportional(self):
+        speeds = [7.0, 3.0, 1.0]
+        prop = partition_layers_proportional(40, speeds)
+        bal = partition_layers_balanced(40, speeds)
+        assert max_stage_cost(bal, speeds) <= max_stage_cost(prop, speeds) + 1e-9
+
+    def test_two_stage_known_optimum(self):
+        # Speeds 3:1 over 8 layers -> 6/2 is optimal (cost 2.0).
+        counts = partition_layers_balanced(8, [3.0, 1.0])
+        assert max_stage_cost(counts, [3.0, 1.0]) == pytest.approx(2.0)
+
+    def test_min_layers_zero_allows_empty_stage(self):
+        counts = partition_layers_balanced(4, [1.0, 1000.0], min_layers_per_stage=0)
+        assert sum(counts) == 4
+        assert counts[1] >= 3  # nearly everything goes to the fast stage
+
+    def test_infeasible_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            partition_layers_balanced(2, [1.0, 1.0, 1.0], min_layers_per_stage=1)
+
+    def test_single_stage(self):
+        assert partition_layers_balanced(12, [5.0]) == [12]

@@ -1,0 +1,54 @@
+"""Tests for device grouping into data-parallel instances."""
+
+import pytest
+
+from repro.hardware.cluster import ClusterBuilder, paper_cluster
+from repro.parallel.placement import feasible_instance_counts, group_devices_evenly
+
+
+def test_feasible_counts_paper_cluster():
+    # 4 of each type: 1, 2, and 4 instances divide every type evenly.
+    assert feasible_instance_counts(paper_cluster()) == [1, 2, 4]
+
+
+def test_feasible_counts_respects_max():
+    assert feasible_instance_counts(paper_cluster(), max_instances=2) == [1, 2]
+
+
+def test_feasible_counts_uneven_mix():
+    cluster = ClusterBuilder().add_host("a100", 3).add_host("p100", 2).build()
+    assert feasible_instance_counts(cluster) == [1]
+
+
+def test_group_devices_even_mix():
+    groups = group_devices_evenly(paper_cluster(), 2)
+    assert len(groups) == 2
+    for group in groups:
+        names = sorted(d.spec.name for d in group)
+        assert names == ["a100", "a100", "p100", "p100", "rtx3090", "rtx3090"]
+
+
+def test_group_devices_single_instance_gets_everything():
+    cluster = paper_cluster()
+    groups = group_devices_evenly(cluster, 1)
+    assert len(groups[0]) == cluster.num_devices
+
+
+def test_group_devices_disjoint():
+    groups = group_devices_evenly(paper_cluster(), 4)
+    seen = set()
+    for group in groups:
+        for dev in group:
+            assert dev.device_id not in seen
+            seen.add(dev.device_id)
+    assert len(seen) == 12
+
+
+def test_group_devices_infeasible_count_rejected():
+    with pytest.raises(ValueError):
+        group_devices_evenly(paper_cluster(), 3)
+
+
+def test_group_devices_invalid_count():
+    with pytest.raises(ValueError):
+        group_devices_evenly(paper_cluster(), 0)

@@ -1,0 +1,125 @@
+"""Tests for the linear Attention-time and transfer models (Eqs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.models.spec import get_model_spec
+from repro.perf.attention_model import (
+    AttentionTimeModel,
+    DeviceAttentionModel,
+    LOCAL_TRANSFER,
+    TransferTimeModel,
+    fit_linear_attention_model,
+    fit_linear_transfer_model,
+)
+
+
+class TestAttentionTimeModel:
+    def test_predict_linear(self):
+        m = AttentionTimeModel(a=2.0, b=0.5, c=1.0)
+        assert m.predict(3, 4) == pytest.approx(2 * 3 + 0.5 * 4 + 1)
+
+    def test_zero_load_is_free(self):
+        m = AttentionTimeModel(a=2.0, b=0.5, c=1.0)
+        assert m.predict(0, 0) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        m = AttentionTimeModel(a=1.0, b=1.0, c=0.0)
+        with pytest.raises(ValueError):
+            m.predict(-1, 0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionTimeModel(a=-1.0, b=0.0, c=0.0)
+
+    def test_with_error_worst_case_deterministic(self):
+        m = AttentionTimeModel(a=1.0, b=2.0, c=3.0)
+        perturbed = m.with_error(0.2)
+        assert perturbed.a == pytest.approx(1.2)
+        assert perturbed.b == pytest.approx(2.4)
+
+    def test_with_error_rng_bounded(self):
+        m = AttentionTimeModel(a=1.0, b=1.0, c=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = m.with_error(0.2, rng)
+            assert 0.8 <= p.a <= 1.2 and 0.8 <= p.b <= 1.2 and 0.8 <= p.c <= 1.2
+
+
+class TestTransferTimeModel:
+    def test_predict(self):
+        t = TransferTimeModel(gamma=1e-9, beta=1e-4)
+        assert t.predict(1e6) == pytest.approx(1e-3 + 1e-4)
+
+    def test_zero_bytes_free(self):
+        assert TransferTimeModel(gamma=1e-9, beta=1e-4).predict(0) == 0.0
+
+    def test_local_transfer_is_free(self):
+        assert LOCAL_TRANSFER.predict(10**9) == 0.0
+
+    def test_with_error(self):
+        t = TransferTimeModel(gamma=1.0, beta=2.0).with_error(0.1)
+        assert t.gamma == pytest.approx(1.1)
+        assert t.beta == pytest.approx(2.2)
+
+
+class TestFitting:
+    def test_attention_fit_recovers_coefficients(self):
+        true = AttentionTimeModel(a=3e-6, b=2e-9, c=5e-4)
+        rng = np.random.default_rng(1)
+        h = rng.uniform(1, 500, size=64)
+        g = rng.uniform(100, 1e6, size=64)
+        t = [true.predict(hi, gi) for hi, gi in zip(h, g)]
+        fitted = fit_linear_attention_model(h, g, t)
+        assert fitted.a == pytest.approx(true.a, rel=1e-3)
+        assert fitted.b == pytest.approx(true.b, rel=1e-3)
+        assert fitted.c == pytest.approx(true.c, rel=1e-2)
+
+    def test_attention_fit_requires_three_samples(self):
+        with pytest.raises(ValueError):
+            fit_linear_attention_model([1, 2], [1, 2], [1, 2])
+
+    def test_transfer_fit_recovers_coefficients(self):
+        true = TransferTimeModel(gamma=8e-11, beta=3e-5)
+        x = np.linspace(1e3, 1e7, 32)
+        y = [true.predict(v) for v in x]
+        fitted = fit_linear_transfer_model(x, y)
+        assert fitted.gamma == pytest.approx(true.gamma, rel=1e-3)
+        assert fitted.beta == pytest.approx(true.beta, rel=1e-2)
+
+    def test_fit_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_linear_attention_model([1, 2, 3], [1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            fit_linear_transfer_model([1, 2, 3], [1, 2])
+
+
+class TestDeviceAttentionModel:
+    def setup_method(self):
+        self.model = get_model_spec("llama-70b")
+        self.compute = AttentionTimeModel(a=1e-5, b=1e-9, c=1e-4)
+        self.transfer = TransferTimeModel(gamma=8e-11, beta=1e-3)
+
+    def test_local_device_no_transfer(self):
+        local = DeviceAttentionModel(0, "primary", self.compute, is_remote=False)
+        assert local.attention_time(self.model, 10, 1000) == pytest.approx(self.compute.predict(10, 1000))
+
+    def test_remote_device_adds_transfer(self):
+        remote = DeviceAttentionModel(1, "p100:0", self.compute, self.transfer, is_remote=True)
+        local = DeviceAttentionModel(0, "primary", self.compute, is_remote=False)
+        assert remote.attention_time(self.model, 10, 1000) > local.attention_time(self.model, 10, 1000)
+
+    def test_head_coefficient_larger_for_remote(self):
+        remote = DeviceAttentionModel(1, "p100:0", self.compute, self.transfer, is_remote=True)
+        local = DeviceAttentionModel(0, "primary", self.compute, is_remote=False)
+        assert remote.head_coefficient(self.model) > local.head_coefficient(self.model)
+
+    def test_fixed_cost_includes_beta_for_remote(self):
+        remote = DeviceAttentionModel(1, "p100:0", self.compute, self.transfer, is_remote=True)
+        assert remote.fixed_cost() == pytest.approx(self.compute.c + self.transfer.beta)
+
+    def test_with_error_perturbs_both_models(self):
+        remote = DeviceAttentionModel(1, "p100:0", self.compute, self.transfer, is_remote=True)
+        perturbed = remote.with_error(0.2)
+        assert perturbed.compute.a == pytest.approx(self.compute.a * 1.2)
+        assert perturbed.transfer.beta == pytest.approx(self.transfer.beta * 1.2)

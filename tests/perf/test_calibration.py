@@ -1,0 +1,72 @@
+"""Calibration checks: the device model reproduces the paper's measured ratios.
+
+These are the guard-rails for the whole reproduction -- if the calibrated
+hardware catalog drifts, every downstream experiment changes shape.  Target
+ratios come from Table 1 and Fig. 2 of the paper; assertions use generous
+bands because only the ordering and rough magnitude matter.
+"""
+
+import pytest
+
+from repro.experiments.fig02 import mean_gap, run_fig2
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return {row.device: row for row in run_table1()}
+
+
+@pytest.fixture(scope="module")
+def fig2_series():
+    return run_fig2(num_requests=(20, 100, 200, 400))
+
+
+class TestTable1Calibration:
+    def test_prefill_ratio_3090(self, table1_rows):
+        # Paper: 2.45x.
+        assert 1.8 <= table1_rows["rtx3090"].prefill_ratio_vs_a100 <= 3.2
+
+    def test_prefill_ratio_p100(self, table1_rows):
+        # Paper: 24.5x.
+        assert 15.0 <= table1_rows["p100"].prefill_ratio_vs_a100 <= 35.0
+
+    def test_decode_ratio_3090(self, table1_rows):
+        # Paper: 1.47x.
+        assert 1.2 <= table1_rows["rtx3090"].decode_ratio_vs_a100 <= 2.3
+
+    def test_decode_ratio_p100(self, table1_rows):
+        # Paper: 7.93x.
+        assert 5.0 <= table1_rows["p100"].decode_ratio_vs_a100 <= 12.0
+
+    def test_memory_column_matches_paper(self, table1_rows):
+        assert table1_rows["a100"].memory_gb == 80
+        assert table1_rows["rtx3090"].memory_gb == 24
+        assert table1_rows["p100"].memory_gb == 12
+
+    def test_prefill_slower_than_decode_everywhere(self, table1_rows):
+        for row in table1_rows.values():
+            assert row.prefill_time_s > row.decode_time_s
+
+
+class TestFig2Calibration:
+    def test_p100_mlp_gap_much_larger_than_attention_gap(self, fig2_series):
+        mlp_gap = mean_gap(fig2_series, "p100", "mlp")
+        attn_gap = mean_gap(fig2_series, "p100", "attention")
+        assert mlp_gap > 3 * attn_gap
+        assert mlp_gap > 10.0
+        assert attn_gap < 8.0
+
+    def test_3090_gaps_moderate(self, fig2_series):
+        assert mean_gap(fig2_series, "rtx3090", "mlp") < 4.0
+        assert mean_gap(fig2_series, "rtx3090", "attention") < 4.0
+
+    def test_a100_is_the_reference(self, fig2_series):
+        assert mean_gap(fig2_series, "a100", "mlp") == pytest.approx(1.0)
+        assert mean_gap(fig2_series, "a100", "attention") == pytest.approx(1.0)
+
+    def test_ordering_preserved_at_every_batch_size(self, fig2_series):
+        p100 = fig2_series["p100"]
+        r3090 = fig2_series["rtx3090"]
+        for i in range(len(p100.num_requests)):
+            assert p100.norm_mlp_time[i] > r3090.norm_mlp_time[i] > 0.99

@@ -1,0 +1,103 @@
+"""Tests for communication data volumes and the CommModel wrapper."""
+
+import pytest
+
+from repro.models.spec import get_model_spec
+from repro.perf.commcost import (
+    CommModel,
+    attention_transfer_bytes,
+    hidden_state_bytes,
+    kv_cache_bytes,
+    seqwise_transfer_bytes,
+)
+
+
+@pytest.fixture
+def llama70b():
+    return get_model_spec("llama-70b")
+
+
+@pytest.fixture
+def llama13b():
+    return get_model_spec("llama-13b")
+
+
+def test_hidden_state_bytes(llama13b):
+    assert hidden_state_bytes(llama13b, 10) == 10 * llama13b.hidden_size * 2
+
+
+def test_hidden_state_bytes_zero(llama13b):
+    assert hidden_state_bytes(llama13b, 0) == 0.0
+
+
+def test_attention_transfer_bytes_mha(llama13b):
+    # MHA: r=1, so (2 + 2/1) = 4 head vectors per offloaded head.
+    per_head = attention_transfer_bytes(llama13b, 1.0)
+    assert per_head == pytest.approx(4 * llama13b.head_dim * 2)
+
+
+def test_attention_transfer_bytes_gqa_cheaper(llama70b, llama13b):
+    # GQA shares KV heads, so fewer K/V vectors travel per query head.
+    gqa_vectors = attention_transfer_bytes(llama70b, 1.0) / (llama70b.head_dim * 2)
+    mha_vectors = attention_transfer_bytes(llama13b, 1.0) / (llama13b.head_dim * 2)
+    assert gqa_vectors == pytest.approx(2 + 2 / 8)
+    assert gqa_vectors < mha_vectors
+
+
+def test_attention_transfer_all_layers_scales(llama70b):
+    one = attention_transfer_bytes(llama70b, 4.0, per_layer=True)
+    alll = attention_transfer_bytes(llama70b, 4.0, per_layer=False)
+    assert alll == pytest.approx(one * llama70b.num_layers)
+
+
+def test_seqwise_volume_grows_with_workers(llama70b):
+    assert seqwise_transfer_bytes(llama70b, 4) == pytest.approx(4 * seqwise_transfer_bytes(llama70b, 1))
+
+
+def test_kv_cache_bytes_head_subset(llama70b):
+    full = kv_cache_bytes(llama70b, 1000)
+    half = kv_cache_bytes(llama70b, 1000, num_query_heads=llama70b.num_heads // 2)
+    assert half == pytest.approx(full / 2)
+
+
+def test_negative_inputs_rejected(llama13b):
+    with pytest.raises(ValueError):
+        hidden_state_bytes(llama13b, -1)
+    with pytest.raises(ValueError):
+        attention_transfer_bytes(llama13b, -1)
+    with pytest.raises(ValueError):
+        kv_cache_bytes(llama13b, -5)
+
+
+class TestCommModel:
+    def setup_method(self):
+        from repro.hardware.cluster import paper_cluster
+
+        self.cluster = paper_cluster()
+        self.model = get_model_spec("llama-70b")
+        self.comm = CommModel(self.cluster, self.model)
+
+    def test_pipeline_handoff_cross_host_slower(self):
+        a100s = self.cluster.devices_of_type("a100")
+        p100s = self.cluster.devices_of_type("p100")
+        intra = self.comm.pipeline_handoff_time(a100s[0], a100s[1], 100)
+        inter = self.comm.pipeline_handoff_time(a100s[0], p100s[0], 100)
+        assert inter > intra
+
+    def test_tp_allreduce_zero_for_single_device(self):
+        a100s = self.cluster.devices_of_type("a100")
+        assert self.comm.tp_allreduce_time(a100s[:1], 100) == 0.0
+
+    def test_attention_offload_time_scales_with_heads(self):
+        a100 = self.cluster.devices_of_type("a100")[0]
+        p100 = self.cluster.devices_of_type("p100")[0]
+        few = self.comm.attention_offload_time(a100, p100, 8)
+        many = self.comm.attention_offload_time(a100, p100, 64)
+        assert many > few
+
+    def test_kv_migration_partial_heads_cheaper(self):
+        a100 = self.cluster.devices_of_type("a100")[0]
+        p100 = self.cluster.devices_of_type("p100")[0]
+        full = self.comm.kv_migration_time(a100, p100, 2000)
+        partial = self.comm.kv_migration_time(a100, p100, 2000, num_query_heads=8)
+        assert partial < full

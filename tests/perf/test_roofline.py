@@ -1,0 +1,96 @@
+"""Tests for the roofline execution-time model."""
+
+import pytest
+
+from repro.hardware.gpu import get_gpu_spec
+from repro.models.flops import BatchProfile, ModuleCost
+from repro.models.spec import get_model_spec
+from repro.perf.roofline import RooflineExecutor
+
+
+@pytest.fixture
+def executor():
+    return RooflineExecutor(get_model_spec("llama-13b"))
+
+
+def test_zero_cost_zero_time(executor):
+    assert executor.module_time(ModuleCost(), get_gpu_spec("a100")) == 0.0
+
+
+def test_compute_bound_uses_flops(executor):
+    spec = get_gpu_spec("a100")
+    cost = ModuleCost(flops=spec.matmul_flops, weight_bytes=1.0)
+    # One second of pure compute at the large-batch rate.
+    assert executor.module_time(cost, spec, num_tokens=4096) == pytest.approx(1.0, rel=1e-3)
+
+
+def test_memory_bound_uses_bandwidth(executor):
+    spec = get_gpu_spec("a100")
+    cost = ModuleCost(flops=1.0, weight_bytes=spec.mem_bandwidth)
+    assert executor.module_time(cost, spec, num_tokens=4096) == pytest.approx(1.0, rel=1e-3)
+
+
+def test_kernel_overhead_added(executor):
+    spec = get_gpu_spec("p100")
+    cost = ModuleCost(flops=1.0, activation_bytes=1.0, kernels=10)
+    assert executor.module_time(cost, spec) >= 10 * spec.kernel_overhead
+
+
+def test_small_batch_rate_slower_than_large_batch(executor):
+    spec = get_gpu_spec("a100")
+    cost = ModuleCost(flops=1e12)
+    small = executor.module_time(cost, spec, num_tokens=8)
+    large = executor.module_time(cost, spec, num_tokens=4096)
+    assert small > large
+
+
+def test_faster_gpu_faster_layer(executor):
+    batch = BatchProfile.prefill_only([512])
+    a100 = executor.layer_time(get_gpu_spec("a100"), batch)
+    p100 = executor.layer_time(get_gpu_spec("p100"), batch)
+    assert p100 > a100 * 5
+
+
+def test_layer_timing_contains_all_modules(executor):
+    timing = executor.layer_timing(get_gpu_spec("a100"), BatchProfile(prefill_lengths=[128], decode_contexts=[256]))
+    names = set(timing.by_name())
+    assert {"qkv", "mlp", "attn_out_proj", "prefill_attention", "decode_attention"} <= names
+    assert timing.total == pytest.approx(sum(timing.by_name().values()))
+
+
+def test_layer_timing_module_lookup_error(executor):
+    timing = executor.layer_timing(get_gpu_spec("a100"), BatchProfile.prefill_only([64]))
+    with pytest.raises(KeyError):
+        timing.module("nonexistent")
+
+
+def test_tp_reduces_per_device_time(executor):
+    batch = BatchProfile.prefill_only([2048])
+    full = executor.layer_time(get_gpu_spec("a100"), batch, tp_degree=1)
+    sharded = executor.layer_time(get_gpu_spec("a100"), batch, tp_degree=4)
+    assert sharded < full
+
+
+def test_decode_attention_time_scales_with_heads(executor):
+    spec = get_gpu_spec("rtx3090")
+    contexts = [1000] * 16
+    model = executor.model
+    full = executor.decode_attention_time(spec, contexts, [model.num_heads] * 16)
+    half = executor.decode_attention_time(spec, contexts, [model.num_heads // 2] * 16)
+    assert half < full
+
+
+def test_full_model_time_scales_with_layers(executor):
+    spec = get_gpu_spec("a100")
+    batch = BatchProfile.decode_only([512] * 8)
+    per_layer = executor.layer_time(spec, batch)
+    total = executor.full_model_time(spec, batch)
+    assert total >= per_layer * executor.model.num_layers
+
+
+def test_mlp_dominates_dense_time(executor):
+    """The MLP is the largest dense module, as the paper's module analysis assumes."""
+    spec = get_gpu_spec("a100")
+    batch = BatchProfile.decode_only([800] * 64)
+    timing = executor.layer_timing(spec, batch)
+    assert timing.module("mlp").seconds > timing.module("qkv").seconds

@@ -1,0 +1,48 @@
+"""Tests for the time-series recorder."""
+
+import numpy as np
+import pytest
+
+from repro.sim.recorder import TimeSeriesRecorder
+
+
+def test_record_and_query():
+    rec = TimeSeriesRecorder()
+    rec.record("cache_usage", "a100:0", 1.0, 0.5)
+    rec.record("cache_usage", "a100:0", 2.0, 0.7)
+    assert rec.series_names() == ["cache_usage"]
+    assert rec.keys("cache_usage") == ["a100:0"]
+    assert rec.last_value("cache_usage", "a100:0") == 0.7
+    assert rec.max_value("cache_usage", "a100:0") == 0.7
+
+
+def test_record_many():
+    rec = TimeSeriesRecorder()
+    rec.record_many("heads", 3.0, {"a100:0": 40.0, "rtx3090:1": 8.0})
+    assert set(rec.keys("heads")) == {"a100:0", "rtx3090:1"}
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        TimeSeriesRecorder().record("x", "k", -1.0, 0.0)
+
+
+def test_missing_series_defaults():
+    rec = TimeSeriesRecorder()
+    assert rec.last_value("nope", "k") == 0.0
+    assert rec.max_value("nope", "k") == 0.0
+    assert rec.raw("nope", "k") == []
+
+
+def test_resample_carries_last_value_forward():
+    rec = TimeSeriesRecorder()
+    rec.record("s", "k", 1.0, 10.0)
+    rec.record("s", "k", 5.0, 20.0)
+    grid = [0.0, 1.0, 3.0, 5.0, 7.0]
+    values = rec.resample("s", "k", grid)
+    assert np.allclose(values, [0.0, 10.0, 10.0, 20.0, 20.0])
+
+
+def test_resample_empty_series_is_zero():
+    rec = TimeSeriesRecorder()
+    assert np.allclose(rec.resample("s", "k", [0.0, 1.0]), [0.0, 0.0])

@@ -1,0 +1,109 @@
+"""Tests for the request lifecycle state machine."""
+
+import pytest
+
+from repro.sim.request import Request, RequestStatus
+
+
+def make(prompt=100, output=5, arrival=1.0):
+    return Request(request_id=0, arrival_time=arrival, prompt_tokens=prompt, output_tokens=output)
+
+
+def test_initial_state():
+    req = make()
+    assert req.status == RequestStatus.QUEUED
+    assert req.context_length == 100
+    assert req.remaining_tokens == 5
+    assert not req.is_finished
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Request(request_id=0, arrival_time=0.0, prompt_tokens=0, output_tokens=1)
+    with pytest.raises(ValueError):
+        Request(request_id=0, arrival_time=0.0, prompt_tokens=1, output_tokens=0)
+    with pytest.raises(ValueError):
+        Request(request_id=0, arrival_time=-1.0, prompt_tokens=1, output_tokens=1)
+
+
+def test_full_lifecycle_and_metrics():
+    req = make(prompt=100, output=3, arrival=1.0)
+    req.start_prefill()
+    req.complete_prefill(now=2.0)
+    assert req.status == RequestStatus.DECODING
+    assert req.generated_tokens == 1
+    req.add_decode_token(now=2.5)
+    req.add_decode_token(now=3.0)
+    assert req.is_finished
+    assert req.ttft == pytest.approx(1.0)
+    assert req.tpot == pytest.approx(0.5)
+    assert req.normalized_latency == pytest.approx((3.0 - 1.0) / 3)
+    assert req.context_length == 103
+
+
+def test_single_token_request_finishes_at_prefill():
+    req = make(output=1)
+    req.start_prefill()
+    req.complete_prefill(now=5.0)
+    assert req.is_finished
+    assert req.tpot == 0.0
+
+
+def test_metrics_none_before_completion():
+    req = make()
+    assert req.ttft is None
+    assert req.tpot is None
+    assert req.normalized_latency is None
+
+
+def test_invalid_transitions():
+    req = make()
+    with pytest.raises(RuntimeError):
+        req.complete_prefill(1.0)
+    with pytest.raises(RuntimeError):
+        req.add_decode_token(1.0)
+    req.start_prefill()
+    with pytest.raises(RuntimeError):
+        req.start_prefill()
+
+
+def test_preemption_and_recovery():
+    req = make(output=10)
+    req.start_prefill()
+    req.complete_prefill(2.0)
+    req.add_decode_token(2.5)
+    req.preempt()
+    assert req.status == RequestStatus.PREEMPTED
+    assert req.num_preemptions == 1
+    # Re-prefill covers prompt + already generated tokens.
+    assert req.context_length == 102
+    req.start_prefill()
+    req.complete_prefill(4.0)
+    assert req.generated_tokens == 3
+    # TTFT keeps the first prefill completion.
+    assert req.ttft == pytest.approx(1.0)
+
+
+def test_cannot_preempt_finished():
+    req = make(output=1)
+    req.start_prefill()
+    req.complete_prefill(1.5)
+    with pytest.raises(RuntimeError):
+        req.preempt()
+
+
+def test_migration_transitions():
+    req = make(output=3)
+    req.start_prefill()
+    req.begin_migration()
+    assert req.status == RequestStatus.MIGRATING
+    req.end_migration()
+    assert req.status == RequestStatus.DECODING
+    with pytest.raises(RuntimeError):
+        req.end_migration()
+
+
+def test_migration_requires_active_request():
+    req = make()
+    with pytest.raises(RuntimeError):
+        req.begin_migration()

@@ -1,0 +1,66 @@
+"""Tests for the continuous-batching admission policy."""
+
+from collections import deque
+
+import pytest
+
+from repro.sim.request import Request
+from repro.sim.scheduler import ContinuousBatchingPolicy, SchedulerLimits
+
+
+def make_queue(lengths):
+    return deque(
+        Request(request_id=i, arrival_time=0.0, prompt_tokens=l, output_tokens=10)
+        for i, l in enumerate(lengths)
+    )
+
+
+def test_limits_validation():
+    with pytest.raises(ValueError):
+        SchedulerLimits(max_running_requests=0)
+    with pytest.raises(ValueError):
+        SchedulerLimits(max_prefill_tokens_per_iteration=0)
+    with pytest.raises(ValueError):
+        SchedulerLimits(max_prefills_per_iteration=0)
+
+
+def test_admits_fifo_until_budget():
+    policy = ContinuousBatchingPolicy(SchedulerLimits(max_prefill_tokens_per_iteration=1000))
+    waiting = make_queue([400, 400, 400])
+    admitted = policy.select_prefills(waiting, num_running=0, can_admit=lambda r: True)
+    assert [r.request_id for r in admitted] == [0, 1]
+    assert len(waiting) == 1
+
+
+def test_big_prompt_gets_its_own_iteration():
+    policy = ContinuousBatchingPolicy(SchedulerLimits(max_prefill_tokens_per_iteration=1000))
+    waiting = make_queue([2000])
+    admitted = policy.select_prefills(waiting, 0, lambda r: True)
+    assert len(admitted) == 1  # admitted alone even though over budget
+
+
+def test_blocked_request_stops_admission_fifo():
+    policy = ContinuousBatchingPolicy()
+    waiting = make_queue([100, 100, 100])
+    admitted = policy.select_prefills(waiting, 0, can_admit=lambda r: r.request_id != 1)
+    assert [r.request_id for r in admitted] == [0]
+    assert waiting[0].request_id == 1  # still at the head, not skipped
+
+
+def test_respects_running_slots():
+    policy = ContinuousBatchingPolicy(SchedulerLimits(max_running_requests=4))
+    waiting = make_queue([10] * 5)
+    admitted = policy.select_prefills(waiting, num_running=3, can_admit=lambda r: True)
+    assert len(admitted) == 1
+
+
+def test_respects_max_prefills_per_iteration():
+    policy = ContinuousBatchingPolicy(SchedulerLimits(max_prefills_per_iteration=2))
+    waiting = make_queue([10] * 5)
+    admitted = policy.select_prefills(waiting, 0, lambda r: True)
+    assert len(admitted) == 2
+
+
+def test_empty_queue():
+    policy = ContinuousBatchingPolicy()
+    assert policy.select_prefills(deque(), 0, lambda r: True) == []

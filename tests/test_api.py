@@ -1,0 +1,74 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+import repro
+from repro.api import build_cluster, build_system, default_hint, quick_serve, run_system
+from repro.workloads.trace import generate_trace
+
+
+def test_version_exposed():
+    assert repro.__version__
+
+
+def test_available_listings():
+    assert "llama-70b" in repro.available_models()
+    assert set(repro.available_systems()) == {"hetis", "hexgen", "splitwise", "static-tp"}
+    assert set(repro.available_datasets()) == {"sharegpt", "humaneval", "longbench"}
+
+
+def test_build_cluster_kinds():
+    assert build_cluster("paper").num_devices == 12
+    assert build_cluster("small").num_devices == 3
+    with pytest.raises(ValueError):
+        build_cluster("exascale")
+
+
+def test_default_hint_reflects_dataset():
+    lb = default_hint("longbench", "llama-13b")
+    sg = default_hint("sharegpt", "llama-13b")
+    assert lb.avg_prompt_tokens > sg.avg_prompt_tokens
+
+
+def test_build_system_unknown_name():
+    with pytest.raises(ValueError):
+        build_system("orca", build_cluster("paper"), "llama-13b")
+
+
+@pytest.mark.parametrize("system", ["hetis", "hexgen", "splitwise", "static-tp"])
+def test_build_system_all_kinds(system):
+    serving = build_system(system, build_cluster("paper"), "llama-13b")
+    assert serving.available_cache_bytes() > 0
+    assert serving.units
+
+
+def test_quick_serve_end_to_end():
+    result = quick_serve(
+        model="llama-13b",
+        system="hetis",
+        dataset="sharegpt",
+        request_rate=5.0,
+        num_requests=10,
+        cluster_kind="paper",
+        seed=0,
+    )
+    assert result.summary.num_finished == 10
+    assert result.normalized_latency > 0
+    assert result.p95_ttft > 0
+    assert result.p95_tpot >= 0
+
+
+def test_quick_serve_deterministic():
+    kwargs = dict(model="llama-13b", system="hexgen", dataset="humaneval",
+                  request_rate=10.0, num_requests=8, seed=3)
+    a = quick_serve(**kwargs)
+    b = quick_serve(**kwargs)
+    assert a.normalized_latency == pytest.approx(b.normalized_latency)
+
+
+def test_run_system_with_custom_trace():
+    cluster = build_cluster("small")
+    system = build_system("static-tp", cluster, "llama-13b")
+    trace = generate_trace("humaneval", 8.0, 6, seed=0)
+    result = run_system(system, trace)
+    assert result.summary.num_finished == 6

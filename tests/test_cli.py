@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(args):
+    out = io.StringIO()
+    code = main(args, out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_plan_default_cluster():
+    code, text = run_cli(["plan", "--model", "llama-70b"])
+    assert code == 0
+    assert "attention workers" in text
+    assert "p100" in text            # P100s relegated to Attention duty
+    assert "KV capacity" in text
+
+
+def test_plan_custom_cluster():
+    code, text = run_cli(
+        ["plan", "--model", "llama-13b", "--gpus", "a100:2", "rtx3090:2", "--delta", "0.0"]
+    )
+    assert code == 0
+    assert "attention workers: (none)" in text   # delta=0 never prunes
+
+
+def test_serve_hexgen_small_run():
+    code, text = run_cli(
+        ["serve", "--system", "hexgen", "--model", "llama-13b", "--dataset", "humaneval",
+         "--rate", "10", "--requests", "8", "--seed", "1"]
+    )
+    assert code == 0
+    assert "hexgen" in text
+    assert "mean s/tok" in text
+
+
+def test_compare_lists_all_systems_and_picks_winner():
+    code, text = run_cli(
+        ["compare", "--systems", "hexgen", "static-tp", "--model", "llama-13b",
+         "--dataset", "sharegpt", "--rate", "6", "--requests", "8"]
+    )
+    assert code == 0
+    assert "hexgen" in text and "static-tp" in text
+    assert "lowest mean normalized latency" in text
+
+
+def test_invalid_system_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--system", "orca"])
+
+
+def test_invalid_dataset_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--dataset", "wikitext"])

@@ -1,0 +1,52 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_is_deterministic():
+    a = make_rng(42).random(8)
+    b = make_rng(42).random(8)
+    assert np.allclose(a, b)
+
+
+def test_make_rng_accepts_existing_generator():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_different_seeds_differ():
+    assert not np.allclose(make_rng(1).random(8), make_rng(2).random(8))
+
+
+def test_spawn_rngs_count_and_independence():
+    rngs = spawn_rngs(3, 4)
+    assert len(rngs) == 4
+    draws = [r.random(16) for r in rngs]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.allclose(draws[i], draws[j])
+
+
+def test_spawn_rngs_deterministic_across_calls():
+    a = spawn_rngs(11, 2)
+    b = spawn_rngs(11, 2)
+    assert np.allclose(a[0].random(8), b[0].random(8))
+    assert np.allclose(a[1].random(8), b[1].random(8))
+
+
+def test_spawn_rngs_from_generator():
+    gen = np.random.default_rng(5)
+    rngs = spawn_rngs(gen, 2)
+    assert len(rngs) == 2
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_rngs_zero_is_empty():
+    assert spawn_rngs(0, 0) == []

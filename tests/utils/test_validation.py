@@ -1,0 +1,33 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import check_in, check_non_negative, check_positive
+
+
+def test_check_positive_passes_through():
+    assert check_positive("x", 3.5) == 3.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", value)
+
+
+def test_check_non_negative_accepts_zero():
+    assert check_non_negative("y", 0) == 0
+
+
+def test_check_non_negative_rejects_negative():
+    with pytest.raises(ValueError):
+        check_non_negative("y", -2)
+
+
+def test_check_in_accepts_member():
+    assert check_in("mode", "lp", ["lp", "greedy"]) == "lp"
+
+
+def test_check_in_rejects_non_member():
+    with pytest.raises(ValueError, match="mode must be one of"):
+        check_in("mode", "exact", ["lp", "greedy"])

@@ -1,0 +1,74 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    RatePhase,
+    constant_rate_arrivals,
+    piecewise_rate_arrivals,
+    poisson_arrivals,
+)
+
+
+def test_poisson_count_and_monotonicity():
+    times = poisson_arrivals(rate=10.0, n=200, seed=0)
+    assert len(times) == 200
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_poisson_mean_gap_matches_rate():
+    times = poisson_arrivals(rate=5.0, n=5000, seed=1)
+    gaps = np.diff([0.0] + times)
+    assert np.mean(gaps) == pytest.approx(0.2, rel=0.1)
+
+
+def test_poisson_deterministic_given_seed():
+    assert poisson_arrivals(3.0, 20, seed=9) == poisson_arrivals(3.0, 20, seed=9)
+
+
+def test_poisson_invalid_rate():
+    with pytest.raises(ValueError):
+        poisson_arrivals(0.0, 10)
+
+
+def test_constant_rate_evenly_spaced():
+    times = constant_rate_arrivals(rate=4.0, n=8)
+    gaps = np.diff(times)
+    assert np.allclose(gaps, 0.25)
+
+
+def test_constant_rate_start_offset():
+    times = constant_rate_arrivals(rate=1.0, n=3, start=10.0)
+    assert times[0] == pytest.approx(11.0)
+
+
+def test_rate_phase_validation():
+    with pytest.raises(ValueError):
+        RatePhase(rate=-1.0, duration=5.0)
+    with pytest.raises(ValueError):
+        RatePhase(rate=1.0, duration=0.0)
+
+
+def test_piecewise_respects_idle_phases():
+    phases = [
+        RatePhase(rate=10.0, duration=10.0),
+        RatePhase(rate=1e-9, duration=10.0),
+        RatePhase(rate=10.0, duration=10.0),
+    ]
+    times = piecewise_rate_arrivals(phases, seed=0)
+    in_gap = [t for t in times if 10.0 <= t < 20.0]
+    assert len(in_gap) == 0
+    assert any(t < 10.0 for t in times)
+    assert any(t >= 20.0 for t in times)
+
+
+def test_piecewise_all_arrivals_within_schedule():
+    phases = [RatePhase(rate=5.0, duration=4.0), RatePhase(rate=2.0, duration=6.0)]
+    times = piecewise_rate_arrivals(phases, seed=3)
+    assert all(0.0 <= t < 10.0 for t in times)
+
+
+def test_piecewise_empty_phases_rejected():
+    with pytest.raises(ValueError):
+        piecewise_rate_arrivals([])

@@ -1,0 +1,62 @@
+"""Tests for trace generation."""
+
+import pytest
+
+from repro.workloads.arrivals import RatePhase
+from repro.workloads.trace import Trace, TraceEntry, generate_trace
+
+
+def test_generate_trace_basic():
+    trace = generate_trace("sharegpt", request_rate=5.0, num_requests=40, seed=0)
+    assert len(trace) == 40
+    assert trace.dataset == "sharegpt"
+    assert trace.request_rate == 5.0
+
+
+def test_trace_sorted_by_arrival():
+    trace = generate_trace("humaneval", request_rate=20.0, num_requests=100, seed=1)
+    times = [e.arrival_time for e in trace]
+    assert times == sorted(times)
+
+
+def test_trace_deterministic():
+    a = generate_trace("longbench", 2.0, 30, seed=5)
+    b = generate_trace("longbench", 2.0, 30, seed=5)
+    assert [(e.arrival_time, e.prompt_tokens, e.output_tokens) for e in a] == [
+        (e.arrival_time, e.prompt_tokens, e.output_tokens) for e in b
+    ]
+
+
+def test_trace_seeds_differ():
+    a = generate_trace("sharegpt", 5.0, 30, seed=1)
+    b = generate_trace("sharegpt", 5.0, 30, seed=2)
+    assert [e.arrival_time for e in a] != [e.arrival_time for e in b]
+
+
+def test_trace_statistics():
+    trace = generate_trace("sharegpt", 5.0, 64, seed=0)
+    assert trace.total_prompt_tokens > 0
+    assert trace.total_output_tokens > 0
+    assert trace.duration == trace.entries[-1].arrival_time
+    assert trace.mean_context_tokens > 0
+
+
+def test_trace_with_phases_caps_requests():
+    phases = [RatePhase(rate=10.0, duration=5.0)]
+    trace = generate_trace("sharegpt", 0.0, num_requests=10, seed=0, phases=phases)
+    assert len(trace) <= 10
+    assert all(e.arrival_time < 5.0 for e in trace)
+
+
+def test_trace_entry_validation():
+    with pytest.raises(ValueError):
+        TraceEntry(arrival_time=-1.0, prompt_tokens=10, output_tokens=10)
+    with pytest.raises(ValueError):
+        TraceEntry(arrival_time=0.0, prompt_tokens=0, output_tokens=10)
+
+
+def test_empty_trace_properties():
+    trace = Trace(entries=[])
+    assert trace.duration == 0.0
+    assert trace.mean_context_tokens == 0.0
+    assert len(trace) == 0
