@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Data-parallel scale-out: N replicas of a deployment behind a router.
+
+Simulates the same workload against 1, 2, and 4 replicas of a Hetis
+deployment (each replica owns a full copy of the small evaluation cluster)
+and compares the three replica routers -- round-robin, least-KV-load, and
+power-of-two-choices -- at a request rate high enough to saturate a single
+replica.
+
+Run with:
+
+    PYTHONPATH=src python examples/multi_replica_serving.py
+"""
+
+from repro.api import available_routers, quick_serve
+
+MODEL = "llama-13b"
+DATASET = "sharegpt"
+RATE = 12.0
+NUM_REQUESTS = 96
+
+
+def main() -> None:
+    print(f"{MODEL} / {DATASET} @ {RATE} req/s, {NUM_REQUESTS} requests (small cluster per replica)")
+    print(f"{'replicas':>9} {'router':>14} {'mean s/tok':>12} {'p95 TTFT':>10} {'tokens/s':>10} {'finished':>9}")
+    for num_replicas in (1, 2, 4):
+        routers = available_routers() if num_replicas > 1 else ["round-robin"]
+        for router in routers:
+            result = quick_serve(
+                model=MODEL,
+                system="hetis",
+                dataset=DATASET,
+                request_rate=RATE,
+                num_requests=NUM_REQUESTS,
+                cluster_kind="small",
+                num_replicas=num_replicas,
+                router=router,
+                seed=0,
+            )
+            s = result.summary
+            print(
+                f"{num_replicas:>9} {router:>14} {s.mean_normalized_latency:>12.4f} "
+                f"{s.p95_ttft:>10.3f} {s.throughput_tokens_per_s:>10.1f} {s.num_finished:>9}"
+            )
+
+
+if __name__ == "__main__":
+    main()

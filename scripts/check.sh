@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tiered verification: exactly the sequence the tier-1 verify runs.
+#
+#   scripts/check.sh          # fast tier, then full tier (tests + benchmarks)
+#   scripts/check.sh --fast   # fast tier only (< 30 s)
+#
+# Stale __pycache__ directories are removed first: test modules are imported
+# by basename-derived package names, and caches left by an older layout are
+# the classic cause of "import file mismatch" collection errors.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clearing stale __pycache__ =="
+find . -type d -name __pycache__ -prune -exec rm -rf {} +
+find . -type f -name '*.pyc' -delete
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== fast tier: pytest -m 'not slow' =="
+python -m pytest -m "not slow" -q
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "fast tier passed (full tier skipped)"
+    exit 0
+fi
+
+echo "== full tier: pytest (tests + benchmarks) =="
+python -m pytest -q
+
+echo "all tiers passed"

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Dump a bit-exact metric snapshot of representative simulations.
+
+Used to verify that engine/performance refactors do not change simulation
+outputs: run once before the change, once after, and diff the JSON files.
+
+    PYTHONPATH=src python scripts/metrics_snapshot.py out.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.api import quick_serve
+
+SCENARIOS = [
+    # (system, model, dataset, rate, num_requests)
+    ("hetis", "llama-13b", "sharegpt", 5.0, 48),
+    ("hexgen", "llama-13b", "sharegpt", 5.0, 48),
+    ("splitwise", "llama-13b", "sharegpt", 5.0, 48),
+    ("static-tp", "llama-13b", "sharegpt", 5.0, 48),
+    ("hetis", "llama-13b", "humaneval", 30.0, 48),
+    ("hexgen", "llama-13b", "longbench", 6.0, 32),
+    ("splitwise", "llama-13b", "longbench", 6.0, 32),
+    ("hetis", "opt-30b", "sharegpt", 4.0, 32),
+]
+
+
+def snapshot() -> dict:
+    out = {}
+    for system, model, dataset, rate, n in SCENARIOS:
+        result = quick_serve(
+            model=model,
+            system=system,
+            dataset=dataset,
+            request_rate=rate,
+            num_requests=n,
+            seed=0,
+        )
+        s = result.summary
+        records = sorted(result.metrics.records, key=lambda r: r.request_id)
+        out[f"{system}/{model}/{dataset}/r{rate:g}/n{n}"] = {
+            "mean_normalized_latency": s.mean_normalized_latency,
+            "p95_normalized_latency": s.p95_normalized_latency,
+            "p95_ttft": s.p95_ttft,
+            "p95_tpot": s.p95_tpot,
+            "p95_module_latency": s.p95_module_latency,
+            "throughput_rps": s.throughput_rps,
+            "num_finished": s.num_finished,
+            "num_dropped": result.num_dropped,
+            "available_cache_bytes": result.available_cache_bytes,
+            "finish_times": {str(r.request_id): r.finish_time for r in records},
+            "ttft": {str(r.request_id): r.ttft for r in records},
+            "tpot": {str(r.request_id): r.tpot for r in records},
+            "normalized_latency": {
+                str(r.request_id): r.normalized_latency for r in records
+            },
+        }
+    return out
+
+
+if __name__ == "__main__":
+    path = sys.argv[1] if len(sys.argv) > 1 else "metrics_snapshot.json"
+    with open(path, "w") as fh:
+        json.dump(snapshot(), fh, indent=1, sort_keys=True)
+    print(f"wrote {path}")

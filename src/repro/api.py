@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.baselines import build_hexgen_system, build_splitwise_system, build_static_tp_system
+from repro.core.cluster_system import ROUTER_FACTORIES, ClusterServingSystem, ReplicaRouter
 from repro.core.parallelizer import WorkloadHint
 from repro.core.system import build_hetis_system
 from repro.hardware.cluster import Cluster, paper_cluster
@@ -36,6 +37,11 @@ def available_systems() -> List[str]:
 def available_datasets() -> List[str]:
     """Dataset (workload) names available for trace generation."""
     return sorted(DATASET_CATALOG)
+
+
+def available_routers() -> List[str]:
+    """Replica routers :func:`build_replicated_system` can construct."""
+    return sorted(ROUTER_FACTORIES)
 
 
 def build_cluster(kind: str = "paper") -> Cluster:
@@ -87,6 +93,38 @@ def build_system(
     raise ValueError(f"unknown system {system!r}; available: {SYSTEMS}")
 
 
+def build_replicated_system(
+    system: str,
+    model_name: str,
+    num_replicas: int,
+    router: str | ReplicaRouter = "round-robin",
+    cluster_kind: str = "paper",
+    clusters: Optional[Sequence[Cluster]] = None,
+    dataset: str = "sharegpt",
+    limits: Optional[SchedulerLimits] = None,
+    seed: int = 0,
+    **kwargs,
+) -> ClusterServingSystem:
+    """Build ``num_replicas`` copies of a serving system behind a router.
+
+    Each replica gets its own hardware pool: either one entry of ``clusters``
+    (which must then have exactly ``num_replicas`` entries) or a fresh
+    ``cluster_kind`` cluster per replica -- device objects are mutable
+    simulation state and must never be shared between replicas.
+    """
+    if num_replicas <= 0:
+        raise ValueError("num_replicas must be > 0")
+    if clusters is not None and len(clusters) != num_replicas:
+        raise ValueError(f"expected {num_replicas} clusters, got {len(clusters)}")
+    replicas = []
+    for idx in range(num_replicas):
+        cluster = clusters[idx] if clusters is not None else build_cluster(cluster_kind)
+        replicas.append(
+            build_system(system, cluster, model_name, dataset=dataset, limits=limits, **kwargs)
+        )
+    return ClusterServingSystem(replicas, router=router, seed=seed)
+
+
 def run_system(
     system: ServingSystem,
     trace: Trace,
@@ -107,14 +145,34 @@ def quick_serve(
     cluster_kind: str = "paper",
     seed: int = 0,
     phases: Optional[Sequence[RatePhase]] = None,
+    num_replicas: int = 1,
+    router: str | ReplicaRouter = "round-robin",
     **system_kwargs,
 ) -> SimulationResult:
     """One-call end-to-end simulation: build cluster + system + trace, then run.
 
+    ``num_replicas > 1`` simulates a data-parallel scale-out: that many
+    independent copies of the deployment (each on its own ``cluster_kind``
+    pool) behind the chosen replica ``router``.
+
     Returns the :class:`~repro.sim.engine.SimulationResult`, whose ``summary``
     carries normalized latency, TTFT/TPOT percentiles, and throughput.
     """
-    cluster = cluster or build_cluster(cluster_kind)
-    serving = build_system(system, cluster, model, dataset=dataset, **system_kwargs)
+    if num_replicas > 1:
+        if cluster is not None:
+            raise ValueError("pass cluster_kind (not a shared cluster) when num_replicas > 1")
+        serving: ServingSystem = build_replicated_system(
+            system,
+            model,
+            num_replicas,
+            router=router,
+            cluster_kind=cluster_kind,
+            dataset=dataset,
+            seed=seed,
+            **system_kwargs,
+        )
+    else:
+        cluster = cluster or build_cluster(cluster_kind)
+        serving = build_system(system, cluster, model, dataset=dataset, **system_kwargs)
     trace = generate_trace(dataset, request_rate, num_requests, seed=seed, phases=phases)
     return run_system(serving, trace)

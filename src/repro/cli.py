@@ -27,7 +27,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.api import build_cluster, build_system, run_system
+from repro.api import available_routers, build_cluster, build_replicated_system, build_system, run_system
 from repro.core.parallelizer import Parallelizer, WorkloadHint
 from repro.hardware.cluster import Cluster, ClusterBuilder
 from repro.models.spec import get_model_spec
@@ -46,6 +46,13 @@ def _cluster_from_args(gpu_hosts: Optional[Sequence[str]]) -> Cluster:
     return builder.build()
 
 
+def _positive_int(value: str) -> int:
+    ivalue = int(value)
+    if ivalue < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {ivalue}")
+    return ivalue
+
+
 def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", default="llama-13b", help="model name from the catalog")
     parser.add_argument("--dataset", default="sharegpt", choices=["sharegpt", "humaneval", "longbench"])
@@ -53,6 +60,14 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--requests", type=int, default=60, help="number of requests to simulate")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--gpus", nargs="*", default=None, help="hosts as type:count (default: paper cluster)")
+    parser.add_argument(
+        "--replicas", type=_positive_int, default=1,
+        help="number of data-parallel replicas of the deployment (each on its own cluster)",
+    )
+    parser.add_argument(
+        "--router", default="round-robin", choices=available_routers(),
+        help="replica router used when --replicas > 1",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,12 +131,29 @@ def cmd_plan(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def _build_serving(name: str, args: argparse.Namespace):
+    """Build the (possibly replicated) system a workload subcommand asked for."""
+    replicas = getattr(args, "replicas", 1)
+    if replicas > 1:
+        clusters = [_cluster_from_args(args.gpus) for _ in range(replicas)]
+        return build_replicated_system(
+            name,
+            args.model,
+            replicas,
+            router=args.router,
+            clusters=clusters,
+            dataset=args.dataset,
+            seed=args.seed,
+        )
+    return build_system(name, _cluster_from_args(args.gpus), args.model, dataset=args.dataset)
+
+
 def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
-    cluster = _cluster_from_args(args.gpus)
-    system = build_system(args.system, cluster, args.model, dataset=args.dataset)
+    system = _build_serving(args.system, args)
     trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
     result = run_system(system, trace)
-    print(f"{args.system} serving {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
+    label = args.system if args.replicas == 1 else f"{args.replicas}x {args.system} [{args.router}]"
+    print(f"{label} serving {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
     print(_HEADER, file=out)
     print(_format_summary(args.system, result), file=out)
     if result.num_dropped:
@@ -134,8 +166,7 @@ def cmd_compare(args: argparse.Namespace, out=sys.stdout) -> int:
     print(_HEADER, file=out)
     best_name, best_latency = None, float("inf")
     for name in args.systems:
-        cluster = _cluster_from_args(args.gpus)
-        system = build_system(name, cluster, args.model, dataset=args.dataset)
+        system = _build_serving(name, args)
         trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
         result = run_system(system, trace)
         print(_format_summary(name, result), file=out)

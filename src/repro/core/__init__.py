@@ -31,6 +31,14 @@ from repro.core.redispatch import RedispatchPolicy, RedispatchAction
 from repro.core.hauler import Hauler, MigrationReport
 from repro.core.hetis_unit import HetisInstanceUnit
 from repro.core.system import HetisSystem, build_hetis_system
+from repro.core.cluster_system import (
+    ClusterServingSystem,
+    LeastKVLoadRouter,
+    PowerOfTwoChoicesRouter,
+    ReplicaRouter,
+    RoundRobinRouter,
+    make_router,
+)
 
 __all__ = [
     "Parallelizer",
@@ -49,4 +57,10 @@ __all__ = [
     "HetisInstanceUnit",
     "HetisSystem",
     "build_hetis_system",
+    "ClusterServingSystem",
+    "ReplicaRouter",
+    "RoundRobinRouter",
+    "LeastKVLoadRouter",
+    "PowerOfTwoChoicesRouter",
+    "make_router",
 ]

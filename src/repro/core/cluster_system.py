@@ -1,0 +1,209 @@
+"""Data-parallel scale-out: N replicas of a serving system behind a router.
+
+A :class:`ClusterServingSystem` composes several complete
+:class:`~repro.sim.engine.ServingSystem` deployments ("replicas" -- each one a
+full Hetis / Splitwise / HexGen / static-TP instance on its own hardware pool)
+and routes every arrival to one replica through a pluggable
+:class:`ReplicaRouter`.  The composed system plugs into the discrete-event
+engine exactly like a single-replica system: its unit set is the union of the
+replicas' units, and per-iteration hooks are forwarded to the replica that owns
+the completing unit.
+
+Routers implemented:
+
+``round-robin``
+    Cycle through replicas in arrival order.  Zero state inspection, perfectly
+    fair under homogeneous replicas.
+``least-kv``
+    Send the arrival to the replica whose KV cache is least utilised (ties
+    break on the lower replica index).  Global information, best balance.
+``power-of-two``
+    Sample two distinct replicas with a seeded generator and pick the one with
+    the lower KV utilisation -- the classic "power of two choices" trade-off
+    between router state and balance, and deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import ServingSystem
+from repro.sim.iteration import Iteration, IterationOutcome
+from repro.sim.recorder import TimeSeriesRecorder
+from repro.sim.request import Request
+from repro.sim.units import ExecutionUnit
+from repro.utils.rng import make_rng
+
+
+def replica_kv_utilization(replica: ServingSystem) -> float:
+    """Mean per-device KV-cache utilisation of one replica in [0, 1]."""
+    values: List[float] = []
+    for unit in replica.units:
+        values.extend(unit.kv_utilization().values())
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+class ReplicaRouter(abc.ABC):
+    """Chooses which replica accepts a fresh arrival."""
+
+    name: str = "router"
+
+    @abc.abstractmethod
+    def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
+        """Return the index of the replica that accepts ``request``."""
+
+
+class RoundRobinRouter(ReplicaRouter):
+    """Cycle through replicas in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
+        idx = self._next % len(replicas)
+        self._next += 1
+        return idx
+
+
+class LeastKVLoadRouter(ReplicaRouter):
+    """Send each arrival to the replica with the lowest KV-cache utilisation."""
+
+    name = "least-kv"
+
+    def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
+        best_idx = 0
+        best_load = replica_kv_utilization(replicas[0])
+        for idx in range(1, len(replicas)):
+            load = replica_kv_utilization(replicas[idx])
+            if load < best_load:
+                best_idx, best_load = idx, load
+        return best_idx
+
+
+class PowerOfTwoChoicesRouter(ReplicaRouter):
+    """Sample two distinct replicas, pick the lower-KV-utilisation one.
+
+    Deterministic under a fixed ``seed``: the sampled pair sequence is a pure
+    function of the seed and the arrival order.
+    """
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = make_rng(seed)
+
+    def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
+        n = len(replicas)
+        if n == 1:
+            return 0
+        first, second = (int(i) for i in self._rng.choice(n, size=2, replace=False))
+        if replica_kv_utilization(replicas[second]) < replica_kv_utilization(replicas[first]):
+            return second
+        return first
+
+
+ROUTER_FACTORIES = {
+    "round-robin": lambda seed: RoundRobinRouter(),
+    "least-kv": lambda seed: LeastKVLoadRouter(),
+    "power-of-two": lambda seed: PowerOfTwoChoicesRouter(seed),
+}
+
+
+def make_router(router: str | ReplicaRouter, seed: int = 0) -> ReplicaRouter:
+    """Resolve a router name (or pass through an instance)."""
+    if isinstance(router, ReplicaRouter):
+        return router
+    try:
+        factory = ROUTER_FACTORIES[router]
+    except KeyError:
+        raise ValueError(
+            f"unknown router {router!r}; available: {sorted(ROUTER_FACTORIES)}"
+        ) from None
+    return factory(seed)
+
+
+class _ReplicaRecorderView:
+    """Recorder facade that prefixes keys with the owning replica's tag.
+
+    Replicas are usually built from the same cluster blueprint, so their unit
+    and device names collide; without the prefix, per-device time series from
+    different replicas would silently merge under one key.
+    """
+
+    def __init__(self, inner: TimeSeriesRecorder, prefix: str) -> None:
+        self._inner = inner
+        self._prefix = prefix
+
+    def record(self, series: str, key: str, time: float, value: float) -> None:
+        self._inner.record(series, self._prefix + key, time, value)
+
+    def record_many(self, series: str, time: float, values: Dict[str, float]) -> None:
+        for key, value in values.items():
+            self._inner.record(series, self._prefix + key, time, value)
+
+
+class ClusterServingSystem(ServingSystem):
+    """N replicas of any serving system behind a pluggable request router.
+
+    Each replica must be a complete, independent deployment (its own cluster
+    object / device pool): the composition only shares the event clock, which
+    is exactly the data-parallel scale-out setting.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[ServingSystem],
+        router: str | ReplicaRouter = "round-robin",
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas: List[ServingSystem] = list(replicas)
+        self.router = make_router(router, seed)
+        self.name = name or f"cluster[{len(self.replicas)}x{self.replicas[0].name}]"
+        # Flattened unit set and the unit -> owning replica map.  Unit lists
+        # are fixed after construction (the engine relies on this), so both
+        # are computed once.
+        self._units: List[ExecutionUnit] = []
+        self._owner_of: Dict[int, Tuple[int, ServingSystem]] = {}
+        self.requests_per_replica: List[int] = [0] * len(self.replicas)
+        for replica_idx, replica in enumerate(self.replicas):
+            for unit in replica.units:
+                self._units.append(unit)
+                self._owner_of[id(unit)] = (replica_idx, replica)
+
+    @property
+    def units(self) -> List[ExecutionUnit]:
+        return self._units
+
+    def route(self, request: Request, now: float) -> ExecutionUnit:
+        idx = self.router.select(request, self.replicas, now)
+        if not 0 <= idx < len(self.replicas):
+            raise ValueError(f"router {self.router.name} chose invalid replica {idx}")
+        self.requests_per_replica[idx] += 1
+        return self.replicas[idx].route(request, now)
+
+    def on_iteration(
+        self,
+        unit: ExecutionUnit,
+        iteration: Iteration,
+        outcome: IterationOutcome,
+        now: float,
+        recorder: TimeSeriesRecorder,
+    ) -> List[Tuple[ExecutionUnit, Request, float]]:
+        replica_idx, owner = self._owner_of[id(unit)]
+        view = _ReplicaRecorderView(recorder, f"r{replica_idx}/")
+        return owner.on_iteration(unit, iteration, outcome, now, view)
+
+    def available_cache_bytes(self) -> float:
+        return float(sum(r.available_cache_bytes() for r in self.replicas))
+
+    def describe(self) -> str:
+        inner = " || ".join(r.describe() for r in self.replicas)
+        return f"{self.name} via {self.router.name}: {inner}"

@@ -101,6 +101,12 @@ class Dispatcher:
         if len(primaries) != 1:
             raise ValueError("exactly one target must be marked is_primary")
         self.primary = primaries[0]
+        # The marginal head/cache coefficients are pure functions of the frozen
+        # device models, so hoist them out of the per-dispatch problem build.
+        self._head_cost = np.array(
+            [t.device_model.head_coefficient(self.model) for t in self.targets]
+        )
+        self._cache_cost = np.array([t.device_model.cache_coefficient() for t in self.targets])
 
     # -- problem construction ----------------------------------------------------------
 
@@ -111,9 +117,8 @@ class Dispatcher:
         base_heads: Optional[np.ndarray] = None,
         base_cache: Optional[np.ndarray] = None,
     ) -> HeadDispatchProblem:
-        n = len(self.targets)
-        head_cost = np.array([t.device_model.head_coefficient(self.model) for t in self.targets])
-        cache_cost = np.array([t.device_model.cache_coefficient() for t in self.targets])
+        head_cost = self._head_cost
+        cache_cost = self._cache_cost
         h = base_heads if base_heads is not None else np.array([t.resident_heads for t in self.targets])
         g = base_cache if base_cache is not None else np.array([t.resident_token_heads for t in self.targets])
         base = np.array(

@@ -101,6 +101,15 @@ class HetisInstanceUnit(ExecutionUnit):
         for w in config.attention_workers:
             self._device_host[w.device_id] = w.host_id
 
+        # Distinct (spec, fraction) pairs per stage: symmetric TP shards on
+        # identical GPUs time out identically, so the per-stage max only needs
+        # one evaluation per distinct pair (see StageConfig.unique_shards).
+        self._stage_unique_shards = [stage.unique_shards() for stage in config.stages]
+        # Per-(worker, total offloaded heads) scatter/gather time memo: head
+        # counts repeat across decode iterations while the underlying p2p cost
+        # is a pure function of (bytes, link).
+        self._worker_transfer_cache: Dict[Tuple[int, int], float] = {}
+
         # -- profiled device models + dispatcher ----------------------------------
         device_models = self._fit_device_models(profiling_error)
         targets = [
@@ -214,15 +223,17 @@ class HetisInstanceUnit(ExecutionUnit):
         if not contexts or sum(heads_per_req) == 0:
             return 0.0
         total = 0.0
-        for stage in self.config.stages:
+        frac_heads: Dict[float, List[int]] = {}
+        for stage_idx, stage in enumerate(self.config.stages):
             per_layer = 0.0
-            for dev, frac in zip(stage.devices, stage.fractions()):
-                if frac <= 0:
-                    continue
-                dev_heads = [max(0, int(round(h * frac))) for h in heads_per_req]
+            for spec, frac in self._stage_unique_shards[stage_idx]:
+                dev_heads = frac_heads.get(frac)
+                if dev_heads is None:
+                    dev_heads = [max(0, int(round(h * frac))) for h in heads_per_req]
+                    frac_heads[frac] = dev_heads
                 per_layer = max(
                     per_layer,
-                    self.executor.decode_attention_time(dev.spec, contexts, dev_heads),
+                    self.executor.decode_attention_time(spec, contexts, dev_heads),
                 )
             total += stage.num_layers * per_layer
         return total
@@ -441,21 +452,19 @@ class HetisInstanceUnit(ExecutionUnit):
         # Dense pipeline (QKV + projection + MLP + prefill attention + TP comm).
         stage_totals: List[float] = []
         max_mlp = 0.0
-        for stage in self.config.stages:
+        for stage_idx, stage in enumerate(self.config.stages):
             per_layer_dense = 0.0
             per_layer_mlp = 0.0
             per_layer_prefill_attn = 0.0
-            for dev, frac in zip(stage.devices, stage.fractions()):
-                if frac <= 0:
-                    continue
+            for spec, frac in self._stage_unique_shards[stage_idx]:
                 heads = max(self.model.gqa_ratio, int(round(self.model.num_heads * frac)))
                 dense = self.cost_model.dense_cost(batch).scaled(frac)
                 mlp = self.cost_model.mlp_cost(tokens).scaled(frac)
                 pre_attn = self.cost_model.prefill_attention_batch_cost(batch, heads)
-                per_layer_dense = max(per_layer_dense, self.executor.module_time(dense, dev.spec, tokens))
-                per_layer_mlp = max(per_layer_mlp, self.executor.module_time(mlp, dev.spec, tokens))
+                per_layer_dense = max(per_layer_dense, self.executor.module_time(dense, spec, tokens))
+                per_layer_mlp = max(per_layer_mlp, self.executor.module_time(mlp, spec, tokens))
                 per_layer_prefill_attn = max(
-                    per_layer_prefill_attn, self.executor.attention_module_time(pre_attn, dev.spec)
+                    per_layer_prefill_attn, self.executor.attention_module_time(pre_attn, spec)
                 )
             comm = 0.0
             if stage.tp_degree > 1:
@@ -499,11 +508,15 @@ class HetisInstanceUnit(ExecutionUnit):
                 continue
             compute = self._worker_decode_attention_time(worker, contexts, heads)
             # One per-head scatter/gather per layer (matching the fitted model).
-            transfer = self.model.num_layers * self.cluster.p2p_time(
-                attention_transfer_bytes(self.model, float(total_heads), per_layer=True),
-                self._primary_front,
-                worker,
-            )
+            transfer_key = (worker.device_id, total_heads)
+            transfer = self._worker_transfer_cache.get(transfer_key)
+            if transfer is None:
+                transfer = self.model.num_layers * self.cluster.p2p_time(
+                    attention_transfer_bytes(self.model, float(total_heads), per_layer=True),
+                    self._primary_front,
+                    worker,
+                )
+                self._worker_transfer_cache[transfer_key] = transfer
             times.append(compute + transfer)
         return max(times)
 

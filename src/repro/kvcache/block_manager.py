@@ -114,8 +114,11 @@ class PagedBlockManager:
         current = self._seq_tokens.get(seq_id)
         if current is None:
             return self.can_allocate(num_tokens)
-        new_blocks = self.blocks_needed(current + num_tokens) - self._seq_blocks[seq_id]
-        return new_blocks <= self.free_blocks
+        # Inlined blocks_needed/free_blocks: this is called once per running
+        # request per iteration (twice when appends commit), so plain integer
+        # arithmetic beats the method/property indirection measurably.
+        new_blocks = -(-(current + num_tokens) // self.block_size) - self._seq_blocks[seq_id]
+        return new_blocks <= self.total_blocks - self._used_blocks
 
     def stats(self) -> CacheStats:
         return CacheStats(

@@ -131,6 +131,20 @@ class LayerCostModel:
 
     def __init__(self, model: ModelSpec) -> None:
         self.model = model
+        # Dense-module costs depend only on (num_tokens, tp_degree), and decode
+        # batches repeat token counts every iteration, so the hot loop hits
+        # this memo almost every time.  ModuleCost is frozen, so sharing the
+        # returned objects is safe.
+        self._cost_memo: dict = {}
+
+    def _memoized(self, kind: str, compute, num_tokens: int, tp_degree: int) -> ModuleCost:
+        """Cache ``compute(num_tokens, tp_degree)`` under ``kind``."""
+        key = (kind, num_tokens, tp_degree)
+        cost = self._cost_memo.get(key)
+        if cost is None:
+            cost = compute(num_tokens, tp_degree)
+            self._cost_memo[key] = cost
+        return cost
 
     # -- dense modules ----------------------------------------------------------
 
@@ -138,6 +152,9 @@ class LayerCostModel:
         """QKV projection over ``num_tokens`` tokens, sharded ``tp_degree`` ways."""
         if num_tokens == 0:
             return ZERO_COST
+        return self._memoized("qkv", self._qkv_cost, num_tokens, tp_degree)
+
+    def _qkv_cost(self, num_tokens: int, tp_degree: int) -> ModuleCost:
         m = self.model
         out_width = m.hidden_size + 2 * m.kv_dim
         flops = 2.0 * num_tokens * m.hidden_size * out_width
@@ -149,6 +166,9 @@ class LayerCostModel:
         """Attention output projection (W_o) over ``num_tokens`` tokens."""
         if num_tokens == 0:
             return ZERO_COST
+        return self._memoized("proj", self._attn_output_proj_cost, num_tokens, tp_degree)
+
+    def _attn_output_proj_cost(self, num_tokens: int, tp_degree: int) -> ModuleCost:
         m = self.model
         flops = 2.0 * num_tokens * m.hidden_size * m.hidden_size
         weight_bytes = m.hidden_size * m.hidden_size * m.dtype_bytes
@@ -159,6 +179,9 @@ class LayerCostModel:
         """The MLP (feed-forward) module over ``num_tokens`` tokens."""
         if num_tokens == 0:
             return ZERO_COST
+        return self._memoized("mlp", self._mlp_cost, num_tokens, tp_degree)
+
+    def _mlp_cost(self, num_tokens: int, tp_degree: int) -> ModuleCost:
         m = self.model
         n_mats = 3 if m.gated_mlp else 2
         flops = 2.0 * num_tokens * m.hidden_size * m.ffn_hidden_size * n_mats
@@ -172,11 +195,13 @@ class LayerCostModel:
         Dense work only depends on the number of tokens flowing through the
         layer, not on per-request context lengths.
         """
-        tokens = batch.total_tokens
+        return self._memoized("dense", self._dense_cost, batch.total_tokens, tp_degree)
+
+    def _dense_cost(self, num_tokens: int, tp_degree: int) -> ModuleCost:
         return (
-            self.qkv_cost(tokens, tp_degree)
-            + self.attn_output_proj_cost(tokens, tp_degree)
-            + self.mlp_cost(tokens, tp_degree)
+            self.qkv_cost(num_tokens, tp_degree)
+            + self.attn_output_proj_cost(num_tokens, tp_degree)
+            + self.mlp_cost(num_tokens, tp_degree)
         )
 
     # -- attention module -------------------------------------------------------
@@ -201,11 +226,33 @@ class LayerCostModel:
         return ModuleCost(flops, 0.0, act_bytes, kernels=1)
 
     def prefill_attention_batch_cost(self, batch: BatchProfile, num_query_heads: int | None = None) -> ModuleCost:
-        """Sum of prefill attention costs over all prefill requests in a batch."""
-        total = ZERO_COST
+        """Sum of prefill attention costs over all prefill requests in a batch.
+
+        Accumulates scalars in request order (identical floating-point results
+        to summing per-request :class:`ModuleCost` records) without building an
+        intermediate object per request -- this runs once per iteration per
+        device in the simulation hot loop.
+        """
+        if not batch.prefill_lengths:
+            return ZERO_COST
+        m = self.model
+        heads = m.num_heads if num_query_heads is None else num_query_heads
+        frac = heads / m.num_heads
+        flops = 0.0
+        act_bytes = 0.0
+        kernels = 0
         for length in batch.prefill_lengths:
-            total = total + self.prefill_attention_cost(length, num_query_heads)
-        return total
+            if length == 0:
+                continue
+            flops += 2.0 * 2.0 * length * length * m.hidden_size * 0.5 * frac
+            act_bytes += (
+                2 * length * m.hidden_size
+                + 2 * length * m.kv_dim
+            ) * m.dtype_bytes * frac
+            kernels += 1
+        if kernels == 0:
+            return ZERO_COST
+        return ModuleCost(flops, 0.0, act_bytes, kernels=kernels)
 
     def decode_attention_cost(
         self,
@@ -250,15 +297,32 @@ class LayerCostModel:
         """
         if heads_per_request is not None and len(heads_per_request) != len(contexts):
             raise ValueError("heads_per_request must align with contexts")
-        total = ZERO_COST
+        # Scalar accumulation in request order: identical floating-point result
+        # to summing per-request :class:`ModuleCost` records, without the
+        # object churn.  This is the hottest cost-model path in the simulator
+        # (one evaluation per device per iteration).
+        m = self.model
+        full_heads = m.num_heads
+        head_dim = m.head_dim
+        gqa = m.gqa_ratio
+        dtype_bytes = m.dtype_bytes
+        flops = 0.0
+        act_bytes = 0.0
+        kernels = 0
         for idx, ctx in enumerate(contexts):
-            heads = None if heads_per_request is None else heads_per_request[idx]
-            if heads is not None and heads <= 0:
+            heads = full_heads if heads_per_request is None else heads_per_request[idx]
+            if heads <= 0 or ctx == 0:
                 continue
-            total = total + self.decode_attention_cost(ctx, heads)
-        if total.kernels > 0:
-            total = ModuleCost(total.flops, total.weight_bytes, total.activation_bytes, kernels=1)
-        return total
+            flops += heads * ctx * (4.0 * head_dim + 1.0)
+            kv_head_groups = -(-heads // gqa)  # ceil division
+            act_bytes += (
+                2.0 * ctx * kv_head_groups * head_dim * dtype_bytes
+                + 2.0 * heads * head_dim * dtype_bytes
+            )
+            kernels += 1
+        if kernels == 0:
+            return ZERO_COST
+        return ModuleCost(flops, 0.0, act_bytes, kernels=1)
 
     # -- whole layer ------------------------------------------------------------
 
@@ -275,6 +339,9 @@ class LayerCostModel:
         """Final projection to the vocabulary (charged once per iteration)."""
         if num_tokens == 0:
             return ZERO_COST
+        return self._memoized("lm_head", self._lm_head_cost, num_tokens, tp_degree)
+
+    def _lm_head_cost(self, num_tokens: int, tp_degree: int) -> ModuleCost:
         m = self.model
         flops = 2.0 * num_tokens * m.hidden_size * m.vocab_size
         weight_bytes = m.hidden_size * m.vocab_size * m.dtype_bytes

@@ -62,6 +62,22 @@ class StageConfig:
             return list(self.shard_fractions)
         return [1.0 / len(self.devices)] * len(self.devices)
 
+    def unique_shards(self) -> List[tuple]:
+        """Distinct ``(GPU spec, shard fraction)`` pairs, first-seen order.
+
+        Symmetric tensor-parallel shards on identical GPU types produce
+        identical per-device module times, so timing code only needs one
+        evaluation per distinct pair (zero-fraction devices do no work and are
+        excluded).
+        """
+        return list(
+            dict.fromkeys(
+                (dev.spec, frac)
+                for dev, frac in zip(self.devices, self.fractions())
+                if frac > 0
+            )
+        )
+
     def weight_bytes_per_device(self, model: ModelSpec) -> Dict[int, int]:
         """Parameter bytes each device of this stage must hold."""
         stage_bytes = self.num_layers * model.layer_param_bytes

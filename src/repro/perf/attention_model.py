@@ -18,11 +18,13 @@ per device by the :class:`~repro.perf.profiler.Profiler` and can be perturbed
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
 from repro.models.spec import ModelSpec
+from repro.perf.commcost import attention_transfer_bytes
 
 
 @dataclass(frozen=True)
@@ -90,8 +92,6 @@ class TransferTimeModel:
 
     def predict_heads(self, model: ModelSpec, num_heads: float, per_layer: bool = True) -> float:
         """Transfer time when ``num_heads`` query heads are offloaded."""
-        from repro.perf.commcost import attention_transfer_bytes
-
         return self.predict(attention_transfer_bytes(model, num_heads, per_layer))
 
     def with_error(self, rel_error: float, rng: np.random.Generator | None = None) -> "TransferTimeModel":
@@ -131,18 +131,20 @@ class DeviceAttentionModel:
         base = self.compute.predict(num_heads, cache_token_heads)
         if not self.is_remote or num_heads <= 0:
             return base
-        from repro.perf.commcost import attention_transfer_bytes
-
         return base + self.transfer.predict(
             attention_transfer_bytes(model, num_heads, per_layer=False)
         )
 
+    @lru_cache(maxsize=64)
     def head_coefficient(self, model: ModelSpec) -> float:
-        """Marginal cost of one additional query head (excluding cache term)."""
+        """Marginal cost of one additional query head (excluding cache term).
+
+        Memoized: the coefficient is a pure function of the (frozen) device
+        model and the model spec, yet the dispatcher historically recomputed
+        it for every dispatch round of every iteration.
+        """
         coeff = self.compute.a
         if self.is_remote:
-            from repro.perf.commcost import attention_transfer_bytes
-
             coeff += self.transfer.gamma * attention_transfer_bytes(model, 1.0, per_layer=False)
         return coeff
 

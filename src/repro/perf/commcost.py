@@ -17,6 +17,7 @@ Patterns covered:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from repro.hardware.cluster import Cluster
@@ -31,6 +32,7 @@ def hidden_state_bytes(model: ModelSpec, num_tokens: int) -> float:
     return float(num_tokens * model.hidden_size * model.dtype_bytes)
 
 
+@lru_cache(maxsize=4096)
 def attention_transfer_bytes(model: ModelSpec, num_query_heads: float, per_layer: bool = True) -> float:
     """Bytes exchanged per decode step for ``num_query_heads`` offloaded heads.
 

@@ -129,6 +129,7 @@ class Engine:
         """Simulate the full trace and return aggregated results."""
         counter = itertools.count()
         events: List[Tuple[float, int, int, object]] = []
+        heappush, heappop = heapq.heappush, heapq.heappop
         for idx, entry in enumerate(trace):
             request = Request(
                 request_id=idx,
@@ -136,28 +137,43 @@ class Engine:
                 prompt_tokens=entry.prompt_tokens,
                 output_tokens=entry.output_tokens,
             )
-            heapq.heappush(events, (entry.arrival_time, _KIND_ARRIVAL, next(counter), request))
+            heappush(events, (entry.arrival_time, _KIND_ARRIVAL, next(counter), request))
 
-        busy: Dict[str, bool] = {unit.name: False for unit in self.system.units}
-        in_flight: Dict[str, Iteration] = {}
+        # A system's unit set is fixed for the lifetime of a run, so snapshot
+        # it once: several ``units`` properties build a fresh list per access,
+        # which used to happen once per processed event.  Per-unit engine state
+        # lives in flat arrays indexed by position instead of name-keyed dicts.
+        units: List[ExecutionUnit] = list(self.system.units)
+        unit_index: Dict[int, int] = {id(u): i for i, u in enumerate(units)}
+        n_units = len(units)
+        busy: List[bool] = [False] * n_units
+        in_flight: List[Optional[Iteration]] = [None] * n_units
         processed = 0
         now = 0.0
 
         def maybe_start(unit: ExecutionUnit, at: float) -> None:
-            if busy[unit.name] or not unit.has_work():
+            i = unit_index[id(unit)]
+            if busy[i] or not unit.has_work():
                 return
             iteration = unit.next_iteration(at)
             if iteration is None:
                 return
-            busy[unit.name] = True
-            in_flight[unit.name] = iteration
-            heapq.heappush(events, (at + iteration.duration, _KIND_UNIT_DONE, next(counter), unit))
+            busy[i] = True
+            in_flight[i] = iteration
+            heappush(events, (at + iteration.duration, _KIND_UNIT_DONE, next(counter), unit))
+
+        # Completions can free capacity other units were waiting on, so each
+        # completion schedules a restart sweep over the idle units.  The sweep
+        # is deferred until every event of the current timestamp has been
+        # handled: one sweep drains a whole tick, instead of one sweep per
+        # same-timestamp completion.
+        sweep_pending = False
 
         while events:
             processed += 1
             if processed > self.max_events:
                 break
-            time, kind, _, payload = heapq.heappop(events)
+            time, kind, _, payload = heappop(events)
             now = time
             if now > self.max_simulated_time:
                 break
@@ -178,8 +194,10 @@ class Engine:
 
             elif kind == _KIND_UNIT_DONE:
                 unit = payload  # type: ignore[assignment]
-                iteration = in_flight.pop(unit.name)
-                busy[unit.name] = False
+                i = unit_index[id(unit)]
+                iteration = in_flight[i]
+                in_flight[i] = None
+                busy[i] = False
                 outcome = unit.complete_iteration(iteration, now)
                 if iteration.has_decode and not iteration.prefill_requests:
                     self.metrics.observe_module_times(iteration.module_times)
@@ -187,13 +205,16 @@ class Engine:
                     self.metrics.observe_finish(req)
                 deferred = self.system.on_iteration(unit, iteration, outcome, now, self.recorder)
                 for target, req, ready_time in deferred:
-                    heapq.heappush(
+                    heappush(
                         events, (max(ready_time, now), _KIND_ENQUEUE, next(counter), (target, req))
                     )
                 maybe_start(unit, now)
-                # An iteration may have freed capacity other units were waiting on.
-                for other in self.system.units:
-                    if other is not unit:
+                sweep_pending = True
+
+            if sweep_pending and (not events or events[0][0] > now):
+                sweep_pending = False
+                for j, other in enumerate(units):
+                    if not busy[j] and other.has_work():
                         maybe_start(other, now)
 
         num_dropped = sum(len(getattr(u, "dropped", [])) for u in self.system.units)

@@ -18,7 +18,7 @@ class RequestStatus(str, enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
     """A single inference request and its runtime bookkeeping.
 
@@ -26,6 +26,11 @@ class Request:
     system, known to the simulator) generation length: the system only
     discovers a request is finished when the last token is produced,
     mirroring the EOS-termination uncertainty the paper highlights.
+
+    ``eq=False``: requests are unique mutable entities tracked by identity.
+    Identity comparison keeps ``req in running_list`` membership checks (a
+    simulator hot path) at pointer-comparison cost and makes requests
+    hashable for set-based bookkeeping.
     """
 
     request_id: int

@@ -139,6 +139,13 @@ class StaticPipelineUnit(ExecutionUnit):
                 kv_bytes_per_token=model.kv_bytes_per_token() * share,
             )
             self._device_names[dev.device_id] = dev.name
+        # Hot-loop view: the manager set is fixed after construction, and the
+        # per-iteration cache checks walk it many times per simulated second.
+        self._manager_list = list(self._managers.values())
+
+        # Per-stage (spec, fraction) de-duplication for timing (see
+        # StageConfig.unique_shards).
+        self._stage_unique_shards = [stage.unique_shards() for stage in config.stages]
 
         self.waiting: Deque[Request] = deque()
         self.pending_prefilled: Deque[Request] = deque()
@@ -160,23 +167,31 @@ class StaticPipelineUnit(ExecutionUnit):
     # -- cache helpers -------------------------------------------------------------------
 
     def _can_host(self, context_tokens: int) -> bool:
-        return all(m.can_allocate(context_tokens) for m in self._managers.values())
+        for m in self._manager_list:
+            if not m.can_allocate(context_tokens):
+                return False
+        return True
 
     def _allocate(self, request: Request, context_tokens: int) -> None:
-        for manager in self._managers.values():
+        for manager in self._manager_list:
             manager.allocate(request.request_id, context_tokens)
 
     def _free(self, request: Request) -> None:
-        for manager in self._managers.values():
+        for manager in self._manager_list:
             if manager.has_sequence(request.request_id):
                 manager.free(request.request_id)
 
     def _can_append_all(self, request: Request) -> bool:
-        return all(m.can_append(request.request_id) for m in self._managers.values())
+        rid = request.request_id
+        for m in self._manager_list:
+            if not m.can_append(rid):
+                return False
+        return True
 
     def _append_all(self, request: Request) -> None:
-        for manager in self._managers.values():
-            manager.append(request.request_id)
+        rid = request.request_id
+        for manager in self._manager_list:
+            manager.append(rid)
 
     def _preempt(self, victim: Request) -> None:
         """Drop the victim's cache and send it back for re-prefill (LIFO policy)."""
@@ -276,26 +291,33 @@ class StaticPipelineUnit(ExecutionUnit):
 
     # -- timing -----------------------------------------------------------------------------
 
-    def _stage_times(self, stage: StageConfig, batch: BatchProfile) -> Dict[str, float]:
-        """Per-layer module times of one stage (max over its TP shard devices)."""
+    def _stage_times(self, stage_idx: int, batch: BatchProfile) -> Dict[str, float]:
+        """Per-layer module times of one stage (max over its TP shard devices).
+
+        Iterates the stage's distinct ``(GPU spec, shard fraction)`` pairs
+        instead of every device: identical shards on identical GPUs produce
+        identical times, so the max over the de-duplicated set is the same
+        value at a fraction of the cost (paper-cluster stages are typically
+        4-way symmetric TP).
+        """
+        stage = self.config.stages[stage_idx]
         tokens = batch.total_tokens
         dense_t = mlp_t = attn_t = 0.0
-        for dev, frac in zip(stage.devices, stage.fractions()):
-            if frac <= 0:
-                continue
+        n_decode = len(batch.decode_contexts)
+        for spec, frac in self._stage_unique_shards[stage_idx]:
             heads = max(self.model.gqa_ratio, int(round(self.model.num_heads * frac)))
             dense_cost = self.cost_model.dense_cost(batch).scaled(frac)
             mlp_cost = self.cost_model.mlp_cost(tokens).scaled(frac)
             pre_attn = self.cost_model.prefill_attention_batch_cost(batch, heads)
             dec_attn = self.cost_model.decode_attention_batch_cost(
-                batch.decode_contexts, [heads] * len(batch.decode_contexts)
+                batch.decode_contexts, [heads] * n_decode
             )
-            dense_t = max(dense_t, self.executor.module_time(dense_cost, dev.spec, tokens))
-            mlp_t = max(mlp_t, self.executor.module_time(mlp_cost, dev.spec, tokens))
+            dense_t = max(dense_t, self.executor.module_time(dense_cost, spec, tokens))
+            mlp_t = max(mlp_t, self.executor.module_time(mlp_cost, spec, tokens))
             attn_t = max(
                 attn_t,
-                self.executor.attention_module_time(pre_attn, dev.spec)
-                + self.executor.attention_module_time(dec_attn, dev.spec),
+                self.executor.attention_module_time(pre_attn, spec)
+                + self.executor.attention_module_time(dec_attn, spec),
             )
         comm_t = 0.0
         if stage.tp_degree > 1:
@@ -314,8 +336,8 @@ class StaticPipelineUnit(ExecutionUnit):
         n_stages = len(self.config.stages)
         stage_totals: List[float] = []
         max_mlp = max_attn = 0.0
-        for stage in self.config.stages:
-            per_layer = self._stage_times(stage, batch)
+        for stage_idx, stage in enumerate(self.config.stages):
+            per_layer = self._stage_times(stage_idx, batch)
             stage_total = stage.num_layers * (
                 per_layer["dense"] + per_layer["attention"] + per_layer["comm"]
             )

@@ -1,0 +1,179 @@
+"""Tests for the multi-replica ClusterServingSystem and its routers."""
+
+import pytest
+
+from repro.api import build_cluster, build_replicated_system, quick_serve, run_system
+from repro.core.cluster_system import (
+    ClusterServingSystem,
+    LeastKVLoadRouter,
+    PowerOfTwoChoicesRouter,
+    RoundRobinRouter,
+    make_router,
+    replica_kv_utilization,
+)
+from repro.workloads.trace import generate_trace
+
+pytestmark = pytest.mark.slow
+
+
+def build_two_replicas(system="static-tp", router="round-robin", seed=0):
+    return build_replicated_system(
+        system, "llama-13b", 2, router=router, cluster_kind="small", seed=seed
+    )
+
+
+class TestConstruction:
+    def test_requires_replicas(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            ClusterServingSystem([], router="round-robin")
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("random-drop")
+
+    def test_router_instance_passthrough(self):
+        router = RoundRobinRouter()
+        assert make_router(router) is router
+
+    def test_units_are_union_of_replica_units(self):
+        system = build_two_replicas()
+        per_replica = [len(r.units) for r in system.replicas]
+        assert len(system.units) == sum(per_replica)
+        assert len({id(u) for u in system.units}) == len(system.units)
+
+    def test_cache_bytes_sum_over_replicas(self):
+        system = build_two_replicas()
+        assert system.available_cache_bytes() == pytest.approx(
+            sum(r.available_cache_bytes() for r in system.replicas)
+        )
+
+    def test_describe_mentions_router_and_replicas(self):
+        system = build_two_replicas(router="least-kv")
+        text = system.describe()
+        assert "least-kv" in text
+        assert "2x" in system.name
+
+
+class TestRouterDeterminism:
+    @pytest.mark.parametrize("router", ["round-robin", "least-kv", "power-of-two"])
+    def test_same_seed_same_results(self, router):
+        """Two runs with identical seeds must produce identical metrics."""
+        results = []
+        for _ in range(2):
+            results.append(
+                quick_serve(
+                    model="llama-13b",
+                    system="static-tp",
+                    dataset="sharegpt",
+                    request_rate=10.0,
+                    num_requests=32,
+                    cluster_kind="small",
+                    num_replicas=2,
+                    router=router,
+                    seed=0,
+                )
+            )
+        a, b = results
+        assert a.summary.mean_normalized_latency == b.summary.mean_normalized_latency
+        assert a.summary.p95_ttft == b.summary.p95_ttft
+        assert [r.finish_time for r in a.metrics.records] == [
+            r.finish_time for r in b.metrics.records
+        ]
+
+    def test_round_robin_cycles(self):
+        system = build_two_replicas()
+        trace = generate_trace("sharegpt", 8.0, 16, seed=0)
+        run_system(system, trace)
+        # Round-robin alternates strictly, so a 16-request trace splits 8/8.
+        assert system.requests_per_replica == [8, 8]
+
+    def test_power_of_two_seed_changes_sampling(self):
+        picks = {}
+        for seed in (0, 1):
+            router = PowerOfTwoChoicesRouter(seed=seed)
+            system = build_two_replicas()
+            picks[seed] = [router.select(None, system.replicas, 0.0) for _ in range(32)]
+        assert picks[0] != picks[1]
+
+
+class TestRouterBalancing:
+    def test_least_kv_prefers_emptier_replica(self):
+        system = build_two_replicas(router="least-kv")
+        # Load replica 0 by running a burst through it directly.
+        busy = system.replicas[0]
+        trace = generate_trace("sharegpt", 50.0, 8, seed=1)
+        for idx, entry in enumerate(list(trace)[:4]):
+            unit = busy.units[0]
+            from repro.sim.request import Request
+
+            req = Request(idx + 1000, entry.arrival_time, entry.prompt_tokens, entry.output_tokens)
+            unit.enqueue(req, 0.0)
+            it = unit.next_iteration(0.0)
+            assert it is not None
+        assert replica_kv_utilization(system.replicas[0]) > 0.0
+        router = LeastKVLoadRouter()
+        assert router.select(None, system.replicas, 0.0) == 1
+
+    def test_power_of_two_never_exceeds_capacity(self):
+        """Property test: under power-of-two routing at a saturating rate, no
+        device of any replica ever reports utilization above 1.0, and the
+        block managers never overcommit."""
+        system = build_two_replicas(router="power-of-two", seed=3)
+        trace = generate_trace("sharegpt", 40.0, 64, seed=3)
+        result = run_system(system, trace)
+        assert result.summary.num_finished > 0
+        for replica in system.replicas:
+            for unit in replica.units:
+                for device, util in unit.kv_utilization().items():
+                    assert 0.0 <= util <= 1.0, f"{device} overcommitted: {util}"
+        # The recorder's cache_usage series must stay within [0, 1] too.
+        for key in result.recorder.keys("cache_usage"):
+            assert all(0.0 <= v <= 1.0 for _, v in result.recorder.raw("cache_usage", key))
+
+    def test_recorder_keys_disambiguate_replicas(self):
+        """Same-blueprint replicas must not merge their device time series."""
+        system = build_two_replicas(router="round-robin")
+        trace = generate_trace("sharegpt", 10.0, 16, seed=0)
+        result = run_system(system, trace)
+        keys = result.recorder.keys("cache_usage")
+        assert keys, "expected cache_usage series"
+        assert all(k.startswith(("r0/", "r1/")) for k in keys)
+        assert any(k.startswith("r0/") for k in keys)
+        assert any(k.startswith("r1/") for k in keys)
+
+
+class TestEndToEnd:
+    def test_two_replicas_beat_one_at_high_rate(self):
+        """Data parallelism must relieve a saturated deployment."""
+        common = dict(
+            model="llama-13b",
+            system="static-tp",
+            dataset="sharegpt",
+            request_rate=16.0,
+            num_requests=48,
+            cluster_kind="small",
+            seed=0,
+        )
+        single = quick_serve(num_replicas=1, **common)
+        double = quick_serve(num_replicas=2, router="round-robin", **common)
+        assert double.summary.mean_normalized_latency < single.summary.mean_normalized_latency
+        assert double.summary.num_finished >= single.summary.num_finished
+
+    @pytest.mark.parametrize("system_name", ["hetis", "splitwise", "hexgen"])
+    def test_every_system_runs_replicated(self, system_name):
+        result = quick_serve(
+            model="llama-13b",
+            system=system_name,
+            dataset="sharegpt",
+            request_rate=8.0,
+            num_requests=16,
+            cluster_kind="small",
+            num_replicas=2,
+            router="least-kv",
+            seed=0,
+        )
+        assert result.summary.num_finished == 16
+
+    def test_shared_cluster_rejected(self):
+        with pytest.raises(ValueError, match="cluster_kind"):
+            quick_serve(cluster=build_cluster("small"), num_replicas=2)

@@ -147,3 +147,53 @@ class TestStateAndObjectives:
         assert target.free_token_heads < before
         assert target.resident_heads == 16
         assert target.resident_token_heads == pytest.approx(16 * 1000)
+
+
+class TestGreedyFallback:
+    """The water-filling fallback must keep serving when the LP cannot."""
+
+    def test_lp_solver_failure_falls_back_to_greedy(self, llama70b, monkeypatch):
+        """Force linprog failure: dispatch_new must still produce valid splits."""
+        import repro.solvers.head_dispatch as hd
+
+        class _Failed:
+            success = False
+            x = None
+
+        monkeypatch.setattr(hd, "linprog", lambda *a, **k: _Failed())
+        dispatcher = Dispatcher(llama70b, make_targets(llama70b), solver="lp",
+                                local_preference=0.0)
+        # Several large requests so the keep-local shortcut does not absorb them.
+        decision = dispatcher.dispatch_new([(j, 8000) for j in range(4)])
+        assert decision.feasible
+        assert decision.method in ("greedy", "local")
+        for split in decision.splits.values():
+            split.validate()
+            assert sum(split.allocation.values()) == llama70b.num_heads
+
+    def test_water_filling_respects_tight_capacity(self, llama70b):
+        """With workers too small for a full request, the split must straddle
+        targets without overcommitting any single one."""
+        targets = make_targets(llama70b, primary_capacity=4.0e9, worker_capacity=1.5e9)
+        free_before = {t.target_id: t.free_token_heads for t in targets}
+        dispatcher = Dispatcher(llama70b, targets, solver="greedy", local_preference=0.0)
+        ctx = 9000
+        decision = dispatcher.dispatch_new([(1, ctx), (2, ctx)])
+        assert decision.feasible
+        assert decision.method in ("greedy", "local")
+        used = {t.target_id: 0.0 for t in targets}
+        for req_id, split in decision.splits.items():
+            split.validate()
+            assert sum(split.allocation.values()) == llama70b.num_heads
+            for target_id, heads in split.allocation.items():
+                assert heads % llama70b.gqa_ratio == 0
+                used[target_id] += heads * ctx
+        for t in targets:
+            assert used[t.target_id] <= free_before[t.target_id] + 1e-6
+
+    def test_greedy_reports_infeasible_when_cluster_full(self, llama70b):
+        targets = make_targets(llama70b, primary_capacity=0.2e9, worker_capacity=0.1e9)
+        dispatcher = Dispatcher(llama70b, targets, solver="greedy")
+        decision = dispatcher.dispatch_new([(1, 500_000)])
+        assert not decision.feasible
+        assert not decision.splits

@@ -8,6 +8,8 @@ import pytest
 
 from repro.experiments import ablation, cache_space, e2e, fig14, fig15, fig16
 
+pytestmark = pytest.mark.slow
+
 
 class TestE2E:
     def test_run_serving_point_fields(self):

@@ -10,6 +10,8 @@ import pytest
 from repro.api import build_cluster, build_system, run_system
 from repro.core.system import HetisSystem
 from repro.sim.engine import Engine
+
+pytestmark = pytest.mark.slow
 from repro.workloads.trace import generate_trace
 
 
