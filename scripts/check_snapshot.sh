@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Chunking-off metric-snapshot bit-identity check against a base revision.
+#
+#   scripts/check_snapshot.sh [base-ref]     # default: origin/main, then main
+#
+# Generates scripts/metrics_snapshot.py output twice on the SAME machine --
+# once from a clean worktree of the base revision, once from the current
+# tree -- and diffs the JSON byte-for-byte.  Running both sides locally keeps
+# the comparison robust to BLAS/platform differences; only a code change can
+# make it fail.  Chunked prefill is off by default, so this guards the
+# "existing metric snapshots stay bit-identical unless opted in" contract.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_REF="${1:-}"
+if [[ -z "$BASE_REF" ]]; then
+    if git rev-parse --verify --quiet origin/main >/dev/null; then
+        BASE_REF=origin/main
+    else
+        BASE_REF=main
+    fi
+fi
+
+if [[ "$(git rev-parse "$BASE_REF")" == "$(git rev-parse HEAD)" ]] \
+   && git diff --quiet "$BASE_REF" -- src scripts; then
+    echo "snapshot check: no src/ changes vs $BASE_REF, trivially identical"
+    exit 0
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'git worktree remove --force "$WORKDIR/base" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+echo "== snapshot @ $BASE_REF =="
+git worktree add --detach "$WORKDIR/base" "$BASE_REF" >/dev/null
+(cd "$WORKDIR/base" && PYTHONPATH=src python scripts/metrics_snapshot.py "$WORKDIR/base.json")
+
+echo "== snapshot @ working tree =="
+PYTHONPATH=src python scripts/metrics_snapshot.py "$WORKDIR/head.json"
+
+if cmp -s "$WORKDIR/base.json" "$WORKDIR/head.json"; then
+    echo "snapshot check: bit-identical to $BASE_REF"
+else
+    echo "snapshot check FAILED: metrics diverge from $BASE_REF (chunking off)" >&2
+    diff "$WORKDIR/base.json" "$WORKDIR/head.json" | head -40 >&2 || true
+    exit 1
+fi

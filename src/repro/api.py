@@ -15,6 +15,8 @@ from repro.core.parallelizer import WorkloadHint
 from repro.core.system import build_hetis_system
 from repro.hardware.cluster import Cluster, paper_cluster
 from repro.models.spec import MODEL_CATALOG, get_model_spec
+from dataclasses import replace
+
 from repro.sim.engine import Engine, ServingSystem, SimulationResult
 from repro.sim.scheduler import SchedulerLimits
 from repro.workloads.arrivals import RatePhase
@@ -76,9 +78,19 @@ def build_system(
     model_name: str,
     dataset: str = "sharegpt",
     limits: Optional[SchedulerLimits] = None,
+    prefill_chunk_tokens: Optional[int] = None,
     **kwargs,
 ) -> ServingSystem:
-    """Build a named serving system (``hetis``, ``hexgen``, ``splitwise``, ``static-tp``)."""
+    """Build a named serving system (``hetis``, ``hexgen``, ``splitwise``, ``static-tp``).
+
+    ``prefill_chunk_tokens`` opts the system's schedulers into chunked prefill
+    (see :class:`~repro.sim.scheduler.SchedulerLimits`); the default ``None``
+    keeps the legacy monolithic-prefill execution model bit-for-bit.
+    """
+    if prefill_chunk_tokens is not None:
+        limits = replace(
+            limits or SchedulerLimits(), prefill_chunk_tokens=prefill_chunk_tokens
+        )
     model = get_model_spec(model_name)
     system = system.lower()
     if system == "hetis":

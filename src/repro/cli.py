@@ -68,6 +68,11 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
         "--router", default="round-robin", choices=available_routers(),
         help="replica router used when --replicas > 1",
     )
+    parser.add_argument(
+        "--prefill-chunk-tokens", type=_positive_int, default=None,
+        help="enable chunked prefill with this per-iteration chunk size "
+             "(default: off, monolithic prefill)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +139,7 @@ def cmd_plan(args: argparse.Namespace, out=sys.stdout) -> int:
 def _build_serving(name: str, args: argparse.Namespace):
     """Build the (possibly replicated) system a workload subcommand asked for."""
     replicas = getattr(args, "replicas", 1)
+    chunk_tokens = getattr(args, "prefill_chunk_tokens", None)
     if replicas > 1:
         clusters = [_cluster_from_args(args.gpus) for _ in range(replicas)]
         return build_replicated_system(
@@ -144,8 +150,15 @@ def _build_serving(name: str, args: argparse.Namespace):
             clusters=clusters,
             dataset=args.dataset,
             seed=args.seed,
+            prefill_chunk_tokens=chunk_tokens,
         )
-    return build_system(name, _cluster_from_args(args.gpus), args.model, dataset=args.dataset)
+    return build_system(
+        name,
+        _cluster_from_args(args.gpus),
+        args.model,
+        dataset=args.dataset,
+        prefill_chunk_tokens=chunk_tokens,
+    )
 
 
 def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:

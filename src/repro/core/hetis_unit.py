@@ -48,7 +48,7 @@ from repro.perf.commcost import CommModel, attention_transfer_bytes
 from repro.perf.roofline import RooflineExecutor
 from repro.sim.iteration import Iteration, IterationOutcome
 from repro.sim.request import Request, RequestStatus
-from repro.sim.scheduler import ContinuousBatchingPolicy, SchedulerLimits
+from repro.sim.scheduler import ContinuousBatchingPolicy, PrefillChunk, SchedulerLimits
 from repro.sim.units import ExecutionUnit
 from repro.utils.rng import make_rng
 
@@ -295,20 +295,26 @@ class HetisInstanceUnit(ExecutionUnit):
                 decode_requests.append(req)
         decode_requests = [r for r in decode_requests if r in self.running]
 
-        # 2. Admit and dispatch new prefills.
-        prefill_requests = self._admit_prefills()
+        # 2. Admit and dispatch new prefill work (whole prefills, or chunks of
+        #    them when chunked prefill is enabled).
+        admitted_chunks = self._admit_prefill_chunks()
+        prefill_requests = [c.request for c in admitted_chunks if c.completes_prefill]
+        partial_prefills = [c for c in admitted_chunks if not c.completes_prefill]
 
-        if not prefill_requests and not decode_requests:
+        if not admitted_chunks and not decode_requests:
             if self.waiting and not self.running:
                 head = self.waiting[0]
                 demand = head.context_length * self.model.num_heads
-                if demand > self._total_free_token_heads():
+                if head.prefilled_tokens == 0 and demand > self._total_free_token_heads():
                     self.dropped.append(self.waiting.popleft())
             return None
 
         batch = BatchProfile(
-            prefill_lengths=[r.context_length for r in prefill_requests],
+            prefill_lengths=[c.new_tokens for c in admitted_chunks],
             decode_contexts=[r.context_length for r in decode_requests],
+            prefill_cached=[c.cached_tokens for c in admitted_chunks]
+            if any(c.cached_tokens for c in admitted_chunks)
+            else (),
         )
         duration, module_times = self._iteration_time(batch, decode_requests)
         duration += self._pending_penalty
@@ -317,44 +323,63 @@ class HetisInstanceUnit(ExecutionUnit):
             duration=duration,
             prefill_requests=prefill_requests,
             decode_requests=decode_requests,
+            partial_prefills=partial_prefills,
             module_times=module_times,
         )
 
-    def _admit_prefills(self) -> List[Request]:
-        """Pop admissible prefills off the waiting queue and dispatch their heads."""
-        selected = self.policy.select_prefills(
+    def _admit_prefill_chunks(self) -> List[PrefillChunk]:
+        """Select the iteration's prefill chunks and dispatch new requests' heads.
+
+        A request's head split and full-context KV allocation are established
+        with its *first* chunk; resuming chunks of a partially-prefilled
+        request reuse them.  Only requests whose prefill completes this
+        iteration join ``running``; a partially-prefilled request stays at the
+        head of the waiting queue.
+        """
+        chunks = self.policy.select_prefill_chunks(
             self.waiting,
             num_running=len(self.running),
             can_admit=lambda r: r.context_length * self.model.num_heads
             <= self._total_free_token_heads(),
         )
-        if not selected:
+        if not chunks:
             return []
-        decision = self.dispatcher.dispatch_new(
-            [(r.request_id, r.context_length) for r in selected]
-        )
-        if not decision.feasible:
-            # Put them back in arrival order and try again next iteration.
-            for req in reversed(selected):
-                self.waiting.appendleft(req)
-            return []
-        admitted: List[Request] = []
-        for req in selected:
-            split = decision.splits[req.request_id]
-            try:
-                self._allocate_split(req, split)
-            except BlockAllocationError:
-                # Fragmentation race between the capacity check and allocation:
-                # return the request to the queue head.
-                self._free_request(req)
-                self.waiting.appendleft(req)
-                continue
-            req.start_prefill()
-            self.running.append(req)
-            self._splits[req.request_id] = split
-            self._requests[req.request_id] = req
-            self._admission_order.append(req.request_id)
-            admitted.append(req)
+        new_chunks = [c for c in chunks if c.is_first]
+        decision = None
+        if new_chunks:
+            decision = self.dispatcher.dispatch_new(
+                [(c.request.request_id, c.request.context_length) for c in new_chunks]
+            )
+            if not decision.feasible:
+                # Put popped requests back in arrival order and try again next
+                # iteration; chunks of already-dispatched requests may proceed.
+                for c in reversed(new_chunks):
+                    if c.completes_prefill:
+                        self.waiting.appendleft(c.request)
+                chunks = [c for c in chunks if not c.is_first]
+                new_chunks = []
+        admitted: List[PrefillChunk] = []
+        for chunk in chunks:
+            req = chunk.request
+            if chunk.is_first:
+                split = decision.splits[req.request_id]
+                try:
+                    self._allocate_split(req, split)
+                except BlockAllocationError:
+                    # Fragmentation race between the capacity check and
+                    # allocation: return the request to the queue head (a
+                    # partial first chunk was never popped).
+                    self._free_request(req)
+                    if chunk.completes_prefill:
+                        self.waiting.appendleft(req)
+                    continue
+                req.start_prefill()
+                self._splits[req.request_id] = split
+                self._requests[req.request_id] = req
+                self._admission_order.append(req.request_id)
+            if chunk.completes_prefill:
+                self.running.append(req)
+            admitted.append(chunk)
         return admitted
 
     def _ensure_appendable(self, request: Request) -> bool:
@@ -438,7 +463,10 @@ class HetisInstanceUnit(ExecutionUnit):
         if request in self.running:
             self.running.remove(request)
         request.preempt()
-        self.waiting.appendleft(request)
+        if request not in self.waiting:
+            # A partially-prefilled victim is still sitting at the head of the
+            # waiting queue; do not enqueue it a second time.
+            self.waiting.appendleft(request)
 
     # ----------------------------------------------------------------------- timing --
 
@@ -541,6 +569,12 @@ class HetisInstanceUnit(ExecutionUnit):
             if req.is_finished:
                 self._retire(req)
                 outcome.finished.append(req)
+        for chunk in iteration.partial_prefills:
+            # Non-final chunks only advance prefill progress (the request may
+            # have been preempted mid-iteration by cache exhaustion, in which
+            # case its progress was reset and the chunk is void).
+            if chunk.request.status == RequestStatus.PREFILLING:
+                chunk.request.advance_prefill(chunk.new_tokens)
         for req in iteration.prefill_requests:
             if req not in self.running:
                 continue

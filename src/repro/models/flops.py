@@ -76,22 +76,38 @@ ZERO_COST = ModuleCost()
 class BatchProfile:
     """The per-iteration batch composition a cost model is evaluated against.
 
-    ``prefill_lengths`` are the prompt lengths of requests running their
-    prefill in this iteration; ``decode_contexts`` are the *current* context
+    ``prefill_lengths`` are the *new* prompt tokens each prefill request
+    processes in this iteration; ``decode_contexts`` are the *current* context
     lengths of requests generating one token each.  This matches the paper's
     request-distribution object ``R`` (batch size and sequence lengths).
+
+    Under chunked prefill a request's iteration slice also attends to tokens
+    cached by earlier chunks: ``prefill_cached`` gives that already-cached
+    context per prefill request.  Empty (the default) means no cached context,
+    i.e. every prefill covers its full prompt in one iteration.
     """
 
     prefill_lengths: Sequence[int] = field(default_factory=tuple)
     decode_contexts: Sequence[int] = field(default_factory=tuple)
+    prefill_cached: Sequence[int] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "prefill_lengths", tuple(int(x) for x in self.prefill_lengths))
         object.__setattr__(self, "decode_contexts", tuple(int(x) for x in self.decode_contexts))
+        object.__setattr__(self, "prefill_cached", tuple(int(x) for x in self.prefill_cached))
         if any(x <= 0 for x in self.prefill_lengths):
             raise ValueError("prefill lengths must be positive")
         if any(x <= 0 for x in self.decode_contexts):
             raise ValueError("decode context lengths must be positive")
+        if self.prefill_cached:
+            if len(self.prefill_cached) != len(self.prefill_lengths):
+                raise ValueError("prefill_cached must align with prefill_lengths")
+            if any(x < 0 for x in self.prefill_cached):
+                raise ValueError("cached context lengths must be >= 0")
+
+    def cached_for(self, idx: int) -> int:
+        """Cached context of the ``idx``-th prefill request (0 when unchunked)."""
+        return self.prefill_cached[idx] if self.prefill_cached else 0
 
     @property
     def prefill_tokens(self) -> int:
@@ -206,10 +222,19 @@ class LayerCostModel:
 
     # -- attention module -------------------------------------------------------
 
-    def prefill_attention_cost(self, prompt_length: int, num_query_heads: int | None = None) -> ModuleCost:
-        """Self-attention over a full prompt of ``prompt_length`` tokens.
+    def prefill_attention_cost(
+        self,
+        prompt_length: int,
+        num_query_heads: int | None = None,
+        cached_tokens: int = 0,
+    ) -> ModuleCost:
+        """Self-attention of a prefill (chunk) of ``prompt_length`` new tokens.
 
-        Cost is quadratic in the prompt length; restricted to
+        With ``cached_tokens == 0`` this is the classic full-prompt prefill,
+        quadratic in the prompt length.  Under chunked prefill the new tokens'
+        queries additionally attend to ``cached_tokens`` of KV cache written by
+        earlier chunks, so the cost carries an extra ``new x cached`` term and
+        the K/V reads cover the whole context.  Restricted to
         ``num_query_heads`` heads when sharded (tensor parallel prefill).
         """
         if prompt_length == 0:
@@ -217,12 +242,22 @@ class LayerCostModel:
         m = self.model
         heads = m.num_heads if num_query_heads is None else num_query_heads
         frac = heads / m.num_heads
-        # q K^T and (softmax) V, causal mask halves the effective area.
-        flops = 2.0 * 2.0 * prompt_length * prompt_length * m.hidden_size * 0.5 * frac
-        act_bytes = (
-            2 * prompt_length * m.hidden_size  # read q, write out
-            + 2 * prompt_length * m.kv_dim     # read K, V
-        ) * m.dtype_bytes * frac
+        if cached_tokens == 0:
+            # q K^T and (softmax) V, causal mask halves the effective area.
+            flops = 2.0 * 2.0 * prompt_length * prompt_length * m.hidden_size * 0.5 * frac
+            act_bytes = (
+                2 * prompt_length * m.hidden_size  # read q, write out
+                + 2 * prompt_length * m.kv_dim     # read K, V
+            ) * m.dtype_bytes * frac
+        else:
+            # Causal area of a chunk: every new token attends to the cached
+            # context plus the preceding new tokens of the same chunk.
+            area = prompt_length * cached_tokens + prompt_length * prompt_length * 0.5
+            flops = 2.0 * 2.0 * area * m.hidden_size * frac
+            act_bytes = (
+                2 * prompt_length * m.hidden_size
+                + 2 * (cached_tokens + prompt_length) * m.kv_dim
+            ) * m.dtype_bytes * frac
         return ModuleCost(flops, 0.0, act_bytes, kernels=1)
 
     def prefill_attention_batch_cost(self, batch: BatchProfile, num_query_heads: int | None = None) -> ModuleCost:
@@ -231,7 +266,8 @@ class LayerCostModel:
         Accumulates scalars in request order (identical floating-point results
         to summing per-request :class:`ModuleCost` records) without building an
         intermediate object per request -- this runs once per iteration per
-        device in the simulation hot loop.
+        device in the simulation hot loop.  Chunked-prefill slices (non-empty
+        ``batch.prefill_cached``) are costed against their cached context.
         """
         if not batch.prefill_lengths:
             return ZERO_COST
@@ -241,14 +277,23 @@ class LayerCostModel:
         flops = 0.0
         act_bytes = 0.0
         kernels = 0
-        for length in batch.prefill_lengths:
+        for idx, length in enumerate(batch.prefill_lengths):
             if length == 0:
                 continue
-            flops += 2.0 * 2.0 * length * length * m.hidden_size * 0.5 * frac
-            act_bytes += (
-                2 * length * m.hidden_size
-                + 2 * length * m.kv_dim
-            ) * m.dtype_bytes * frac
+            cached = batch.cached_for(idx)
+            if cached == 0:
+                flops += 2.0 * 2.0 * length * length * m.hidden_size * 0.5 * frac
+                act_bytes += (
+                    2 * length * m.hidden_size
+                    + 2 * length * m.kv_dim
+                ) * m.dtype_bytes * frac
+            else:
+                area = length * cached + length * length * 0.5
+                flops += 2.0 * 2.0 * area * m.hidden_size * frac
+                act_bytes += (
+                    2 * length * m.hidden_size
+                    + 2 * (cached + length) * m.kv_dim
+                ) * m.dtype_bytes * frac
             kernels += 1
         if kernels == 0:
             return ZERO_COST

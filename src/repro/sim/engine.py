@@ -199,7 +199,7 @@ class Engine:
                 in_flight[i] = None
                 busy[i] = False
                 outcome = unit.complete_iteration(iteration, now)
-                if iteration.has_decode and not iteration.prefill_requests:
+                if iteration.has_decode and not iteration.has_prefill:
                     self.metrics.observe_module_times(iteration.module_times)
                 for req in outcome.finished:
                     self.metrics.observe_finish(req)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.sim.request import Request
+from repro.sim.scheduler import PrefillChunk
 
 
 @dataclass
@@ -16,11 +17,16 @@ class Iteration:
     ``module_times`` breaks the duration into named contributions (``"mlp"``,
     ``"attention"``, ``"dense"``, ``"comm"`` ...) for the module-latency
     experiments; only decode iterations feed those figures.
+
+    ``prefill_requests`` finish their prefill this iteration (producing their
+    first token at completion); ``partial_prefills`` are chunked-prefill slices
+    that advance a request's prefill without completing it.
     """
 
     duration: float
     prefill_requests: List[Request] = field(default_factory=list)
     decode_requests: List[Request] = field(default_factory=list)
+    partial_prefills: List[PrefillChunk] = field(default_factory=list)
     module_times: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -29,15 +35,20 @@ class Iteration:
 
     @property
     def is_empty(self) -> bool:
-        return not self.prefill_requests and not self.decode_requests
+        return not self.prefill_requests and not self.decode_requests and not self.partial_prefills
 
     @property
     def num_requests(self) -> int:
-        return len(self.prefill_requests) + len(self.decode_requests)
+        return len(self.prefill_requests) + len(self.decode_requests) + len(self.partial_prefills)
 
     @property
     def has_decode(self) -> bool:
         return bool(self.decode_requests)
+
+    @property
+    def has_prefill(self) -> bool:
+        """Whether any prefill work (complete or chunked) runs this iteration."""
+        return bool(self.prefill_requests or self.partial_prefills)
 
 
 @dataclass

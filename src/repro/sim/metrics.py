@@ -17,7 +17,12 @@ from repro.sim.request import Request
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Percentile helper that tolerates empty input (returns 0.0)."""
+    """Percentile helper that tolerates empty input (returns 0.0).
+
+    ``np.percentile`` raises IndexError on empty arrays, and one-shot
+    generators would be consumed by a pre-check -- so the input is materialised
+    first and the empty case short-circuited before NumPy sees it.
+    """
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
     arr = np.asarray(list(values), dtype=float)
@@ -45,15 +50,22 @@ class RequestRecord:
     def from_request(req: Request) -> "RequestRecord":
         if not req.is_finished:
             raise ValueError(f"request {req.request_id} has not finished")
+        # Defensive defaults: a request shed or force-finished with zero output
+        # tokens has no well-defined per-token metrics (``normalized_latency``
+        # would divide by zero, ``ttft``/``tpot`` are None); record 0.0 rather
+        # than poisoning the whole summary with a TypeError/ZeroDivisionError.
+        ttft = req.ttft
+        tpot = req.tpot
+        normalized = req.normalized_latency
         return RequestRecord(
             request_id=req.request_id,
             arrival_time=req.arrival_time,
             finish_time=float(req.finish_time),
             prompt_tokens=req.prompt_tokens,
             output_tokens=req.generated_tokens,
-            ttft=float(req.ttft),
-            tpot=float(req.tpot),
-            normalized_latency=float(req.normalized_latency),
+            ttft=float(ttft) if ttft is not None else 0.0,
+            tpot=float(tpot) if tpot is not None else 0.0,
+            normalized_latency=float(normalized) if normalized is not None else 0.0,
             num_preemptions=req.num_preemptions,
             num_redispatches=req.num_redispatches,
         )

@@ -40,6 +40,7 @@ class Request:
 
     status: RequestStatus = RequestStatus.QUEUED
     generated_tokens: int = 0
+    prefilled_tokens: int = 0
     prefill_completion_time: Optional[float] = None
     finish_time: Optional[float] = None
     token_times: List[float] = field(default_factory=list)
@@ -69,6 +70,22 @@ class Request:
     def remaining_tokens(self) -> int:
         return max(0, self.output_tokens - self.generated_tokens)
 
+    @property
+    def prefill_target(self) -> int:
+        """Tokens the prefill must cover: the prompt, plus (after a preemption)
+        every token generated so far, matching vLLM's recompute-on-preempt."""
+        return self.prompt_tokens + self.generated_tokens
+
+    @property
+    def remaining_prefill_tokens(self) -> int:
+        """Prefill tokens not yet processed (the whole target when unchunked)."""
+        return max(0, self.prefill_target - self.prefilled_tokens)
+
+    @property
+    def is_partially_prefilled(self) -> bool:
+        """True while a chunked prefill is in flight but not yet complete."""
+        return self.status == RequestStatus.PREFILLING and 0 < self.prefilled_tokens < self.prefill_target
+
     # -- lifecycle transitions ----------------------------------------------------
 
     def start_prefill(self) -> None:
@@ -76,10 +93,25 @@ class Request:
             raise RuntimeError(f"cannot start prefill from status {self.status}")
         self.status = RequestStatus.PREFILLING
 
+    def advance_prefill(self, num_tokens: int) -> None:
+        """Record ``num_tokens`` of chunked-prefill progress (not the last chunk).
+
+        TTFT is *not* stamped here: under chunked prefill the first output token
+        only exists once the final chunk completes (see :meth:`complete_prefill`).
+        """
+        if self.status != RequestStatus.PREFILLING:
+            raise RuntimeError(f"cannot advance prefill in status {self.status}")
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be > 0")
+        if self.prefilled_tokens + num_tokens >= self.prefill_target:
+            raise ValueError("the final prefill chunk must use complete_prefill")
+        self.prefilled_tokens += num_tokens
+
     def complete_prefill(self, now: float) -> None:
-        """Prefill produced the first output token at time ``now``."""
+        """The last prefill chunk produced the first output token at ``now``."""
         if self.status != RequestStatus.PREFILLING:
             raise RuntimeError(f"cannot complete prefill from status {self.status}")
+        self.prefilled_tokens = self.prefill_target
         if self.prefill_completion_time is None:
             self.prefill_completion_time = now
         self.generated_tokens += 1
@@ -107,6 +139,7 @@ class Request:
         if self.is_finished:
             raise RuntimeError("cannot preempt a finished request")
         self.status = RequestStatus.PREEMPTED
+        self.prefilled_tokens = 0
         self.num_preemptions += 1
 
     def begin_migration(self) -> None:
@@ -144,7 +177,7 @@ class Request:
     @property
     def normalized_latency(self) -> Optional[float]:
         """End-to-end latency divided by output length (the paper's s/token metric)."""
-        if self.finish_time is None:
+        if self.finish_time is None or self.generated_tokens == 0:
             return None
         return (self.finish_time - self.arrival_time) / self.generated_tokens
 

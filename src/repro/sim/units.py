@@ -24,7 +24,7 @@ from repro.perf.commcost import CommModel
 from repro.perf.roofline import RooflineExecutor
 from repro.sim.iteration import Handoff, Iteration, IterationOutcome
 from repro.sim.request import Request, RequestStatus
-from repro.sim.scheduler import ContinuousBatchingPolicy, SchedulerLimits
+from repro.sim.scheduler import ContinuousBatchingPolicy, PrefillChunk, SchedulerLimits
 
 
 class ExecutionUnit(abc.ABC):
@@ -172,6 +172,13 @@ class StaticPipelineUnit(ExecutionUnit):
                 return False
         return True
 
+    def _can_ever_host(self, context_tokens: int) -> bool:
+        """Whether ``context_tokens`` would fit even in a completely empty cache."""
+        for m in self._manager_list:
+            if context_tokens > m.total_blocks * m.block_size:
+                return False
+        return True
+
     def _allocate(self, request: Request, context_tokens: int) -> None:
         for manager in self._manager_list:
             manager.allocate(request.request_id, context_tokens)
@@ -199,7 +206,10 @@ class StaticPipelineUnit(ExecutionUnit):
         victim.preempt()
         if victim in self.running:
             self.running.remove(victim)
-        self.waiting.appendleft(victim)
+        if victim not in self.waiting:
+            # A partially-prefilled victim is still sitting in the waiting
+            # queue; do not enqueue it a second time.
+            self.waiting.appendleft(victim)
 
     def _ensure_appendable(self, request: Request) -> bool:
         """Make room for one more token of ``request``, preempting LIFO if needed.
@@ -240,8 +250,19 @@ class StaticPipelineUnit(ExecutionUnit):
             if len(self.running) >= self.policy.limits.max_running_requests:
                 break
             if not self._can_host(candidate.context_length):
-                if not self.running and len(self.pending_prefilled) == 1:
-                    # Cannot ever fit: drop instead of deadlocking the unit.
+                # A preempted victim can sit ahead of an in-flight partial
+                # prefill, so scan the queue for block holders, not just the head.
+                holds_blocks = any(
+                    r.status == RequestStatus.PREFILLING for r in self.waiting
+                )
+                if not self._can_ever_host(candidate.context_length) or (
+                    not self.running and not holds_blocks
+                ):
+                    # Shed instead of deadlocking: the hand-off exceeds the
+                    # unit's total capacity, or nothing is running (and no
+                    # chunked prefill holds blocks) so no block will ever be
+                    # freed.  Keep scanning -- requests queued behind a doomed
+                    # hand-off may still fit.
                     self.pending_prefilled.popleft()
                     self.dropped.append(candidate)
                     continue
@@ -252,40 +273,57 @@ class StaticPipelineUnit(ExecutionUnit):
             self.running.append(candidate)
             decode_requests.append(candidate)
 
-        # 3. Admit new prefills (prefill / both modes).
+        # 3. Admit new prefill work -- whole prefills, or chunks of them when
+        #    chunked prefill is enabled (a partially-prefilled request stays at
+        #    the head of the waiting queue between chunks).
         prefill_requests: List[Request] = []
+        partial_prefills: List[PrefillChunk] = []
+        prefill_chunks: List[PrefillChunk] = []
         if self.mode in ("both", "prefill"):
-            prefill_requests = self.policy.select_prefills(
+            prefill_chunks = self.policy.select_prefill_chunks(
                 self.waiting,
                 num_running=len(self.running),
                 can_admit=lambda r: self._can_host(r.context_length),
             )
-            for req in prefill_requests:
-                self._allocate(req, req.context_length)
-                req.start_prefill()
-                self.running.append(req)
+            for chunk in prefill_chunks:
+                req = chunk.request
+                if chunk.is_first:
+                    # The full-context KV allocation happens with the first
+                    # chunk; later chunks fill blocks already reserved.
+                    self._allocate(req, req.prefill_target)
+                    req.start_prefill()
+                if chunk.completes_prefill:
+                    self.running.append(req)
+                    prefill_requests.append(req)
+                else:
+                    partial_prefills.append(chunk)
             if (
-                not prefill_requests
+                not prefill_chunks
                 and not decode_requests
                 and self.waiting
                 and not self.running
+                and self.waiting[0].prefilled_tokens == 0
                 and not self._can_host(self.waiting[0].context_length)
             ):
                 # A request that can never fit alone would deadlock the unit.
                 self.dropped.append(self.waiting.popleft())
 
-        if not prefill_requests and not decode_requests:
+        if not prefill_chunks and not decode_requests:
             return None
 
         batch = BatchProfile(
-            prefill_lengths=[r.context_length for r in prefill_requests],
+            prefill_lengths=[c.new_tokens for c in prefill_chunks],
             decode_contexts=[r.context_length for r in decode_requests],
+            prefill_cached=[c.cached_tokens for c in prefill_chunks]
+            if any(c.cached_tokens for c in prefill_chunks)
+            else (),
         )
         duration, module_times = self._iteration_time(batch)
         return Iteration(
             duration=duration,
             prefill_requests=prefill_requests,
             decode_requests=decode_requests,
+            partial_prefills=partial_prefills,
             module_times=module_times,
         )
 
@@ -386,6 +424,12 @@ class StaticPipelineUnit(ExecutionUnit):
                 self._free(req)
                 self.running.remove(req)
                 outcome.finished.append(req)
+        for chunk in iteration.partial_prefills:
+            # A non-final chunk only advances prefill progress; the request is
+            # still at the head of the waiting queue and produces no token.
+            # (TTFT and the Splitwise hand-off both wait for the last chunk.)
+            if chunk.request.status == RequestStatus.PREFILLING:
+                chunk.request.advance_prefill(chunk.new_tokens)
         for req in iteration.prefill_requests:
             if req not in self.running:
                 continue

@@ -88,6 +88,28 @@ class TestLayerCostModel:
         long = self.cm.prefill_attention_cost(512)
         assert long.flops == pytest.approx(short.flops * 4, rel=1e-6)
 
+    def test_chunked_prefill_attention_matches_batch_cost(self):
+        # The single-request and batched chunk formulas must stay in lockstep.
+        single = self.cm.prefill_attention_cost(256, cached_tokens=768)
+        batch = self.cm.prefill_attention_batch_cost(
+            BatchProfile(prefill_lengths=[256], prefill_cached=[768])
+        )
+        assert single.flops == batch.flops
+        assert single.activation_bytes == batch.activation_bytes
+
+    def test_chunked_prefill_attention_cost_decomposes(self):
+        # Chunk flops: new x cached cross-attention plus the chunk's own
+        # causal triangle; summed over chunks this covers the full triangle.
+        full = self.cm.prefill_attention_cost(1024)
+        chunks = [
+            self.cm.prefill_attention_cost(256, cached_tokens=cached)
+            for cached in (0, 256, 512, 768)
+        ]
+        assert sum(c.flops for c in chunks) == pytest.approx(full.flops, rel=1e-6)
+        # K/V of the cached context are re-read by every later chunk, so the
+        # chunked byte total strictly exceeds the monolithic one.
+        assert sum(c.activation_bytes for c in chunks) > full.activation_bytes
+
     def test_decode_attention_linear_in_context(self):
         a = self.cm.decode_attention_cost(500)
         b = self.cm.decode_attention_cost(1000)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.metrics import MetricsCollector, RequestRecord, percentile
-from repro.sim.request import Request
+from repro.sim.request import Request, RequestStatus
 
 
 def finished_request(req_id=0, arrival=0.0, prompt=100, output=4, iteration=0.5):
@@ -66,3 +66,22 @@ def test_empty_collector_summary_is_safe():
     assert summary.num_finished == 0
     assert summary.mean_normalized_latency == 0.0
     assert summary.p95_ttft == 0.0
+
+
+def test_percentile_accepts_generator_and_empty():
+    assert percentile((x for x in []), 95) == 0.0
+    assert percentile((float(x) for x in range(5)), 0) == 0.0
+    assert percentile([], 50) == 0.0
+
+
+def test_zero_output_request_record_is_safe():
+    # A request shed/force-finished with no tokens must not divide by zero or
+    # raise on the None ttft/tpot.
+    req = Request(request_id=9, arrival_time=1.0, prompt_tokens=10, output_tokens=1)
+    req.status = RequestStatus.FINISHED
+    req.finish_time = 3.0
+    record = RequestRecord.from_request(req)
+    assert record.output_tokens == 0
+    assert record.ttft == 0.0
+    assert record.tpot == 0.0
+    assert record.normalized_latency == 0.0

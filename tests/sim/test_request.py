@@ -107,3 +107,42 @@ def test_migration_requires_active_request():
     req = make()
     with pytest.raises(RuntimeError):
         req.begin_migration()
+
+
+def test_prefill_progress_tracking():
+    req = make(prompt=1000, output=3)
+    assert req.prefill_target == 1000
+    assert req.remaining_prefill_tokens == 1000
+    req.start_prefill()
+    req.advance_prefill(400)
+    assert req.prefilled_tokens == 400
+    assert req.remaining_prefill_tokens == 600
+    assert req.is_partially_prefilled
+    req.complete_prefill(1.0)
+    assert req.prefilled_tokens == 1000  # the whole prompt was prefilled
+    assert not req.is_partially_prefilled
+    assert req.generated_tokens == 1
+
+
+def test_advance_prefill_rejects_final_chunk():
+    req = make(prompt=1000, output=3)
+    req.start_prefill()
+    with pytest.raises(ValueError):
+        req.advance_prefill(1000)  # the last chunk must go through complete_prefill
+    with pytest.raises(ValueError):
+        req.advance_prefill(0)
+
+
+def test_advance_prefill_requires_prefilling_status():
+    req = make(prompt=1000, output=3)
+    with pytest.raises(RuntimeError):
+        req.advance_prefill(100)
+
+
+def test_preemption_resets_prefill_progress():
+    req = make(prompt=1000, output=3)
+    req.start_prefill()
+    req.advance_prefill(400)
+    req.preempt()
+    assert req.prefilled_tokens == 0
+    assert req.remaining_prefill_tokens == req.prefill_target

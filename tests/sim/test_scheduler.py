@@ -64,3 +64,93 @@ def test_respects_max_prefills_per_iteration():
 def test_empty_queue():
     policy = ContinuousBatchingPolicy()
     assert policy.select_prefills(deque(), 0, lambda r: True) == []
+
+
+def make_chunked_policy(chunk=512, budget=1024, **kw):
+    return ContinuousBatchingPolicy(
+        SchedulerLimits(
+            max_prefill_tokens_per_iteration=budget, prefill_chunk_tokens=chunk, **kw
+        )
+    )
+
+
+class TestChunkedAdmission:
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerLimits(prefill_chunk_tokens=0)
+        with pytest.raises(ValueError):
+            SchedulerLimits(prefill_chunk_tokens=-8)
+
+    def test_disabled_chunking_matches_legacy_whole_prefills(self):
+        policy = ContinuousBatchingPolicy(SchedulerLimits(max_prefill_tokens_per_iteration=1000))
+        waiting = make_queue([400, 400, 400])
+        chunks = policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        assert [c.request.request_id for c in chunks] == [0, 1]
+        assert all(c.is_first and c.completes_prefill for c in chunks)
+        assert [c.new_tokens for c in chunks] == [400, 400]
+        assert len(waiting) == 1
+
+    def test_oversized_prompt_clamped_not_admitted_whole(self):
+        # The legacy bug: a prompt over the budget was waved through whole.
+        # With chunking on, the budget is a hard cap.
+        policy = make_chunked_policy(chunk=512, budget=1024)
+        waiting = make_queue([5000])
+        chunks = policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        assert len(chunks) == 1
+        assert chunks[0].new_tokens == 512
+        assert not chunks[0].completes_prefill
+        assert waiting[0].request_id == 0  # still at the head
+
+    def test_budget_exactly_consumed(self):
+        policy = make_chunked_policy(chunk=400, budget=800)
+        waiting = make_queue([400, 400, 400])
+        chunks = policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        assert sum(c.new_tokens for c in chunks) == 800
+        assert [c.request.request_id for c in chunks] == [0, 1]
+        assert waiting[0].request_id == 2
+
+    def test_budget_never_exceeded_across_chunks(self):
+        policy = make_chunked_policy(chunk=300, budget=700)
+        waiting = make_queue([300, 300, 300])
+        chunks = policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        # 300 + 300 admitted whole, then only 100 of the third fit.
+        assert [c.new_tokens for c in chunks] == [300, 300, 100]
+        assert sum(c.new_tokens for c in chunks) <= 700
+        assert not chunks[-1].completes_prefill
+        assert waiting[0].request_id == 2  # partial request holds the head
+
+    def test_partial_request_resumes_at_head(self):
+        policy = make_chunked_policy(chunk=512, budget=512)
+        waiting = make_queue([1200, 100])
+        first = policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        assert [c.new_tokens for c in first] == [512]
+        head = waiting[0]
+        head.start_prefill()
+        head.advance_prefill(512)
+        second = policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        assert [c.new_tokens for c in second] == [512]
+        assert second[0].cached_tokens == 512
+        assert not second[0].is_first
+        head.advance_prefill(512)
+        third = policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        # Final 176-token chunk completes; the short request rides the budget.
+        assert [(c.request.request_id, c.new_tokens) for c in third] == [(0, 176), (1, 100)]
+        assert third[0].completes_prefill and third[0].cached_tokens == 1024
+        assert not waiting  # both popped
+
+    def test_resuming_request_skips_can_admit(self):
+        policy = make_chunked_policy(chunk=256, budget=256)
+        waiting = make_queue([1000])
+        assert policy.select_prefill_chunks(waiting, 0, lambda r: True)
+        waiting[0].start_prefill()
+        waiting[0].advance_prefill(256)
+        # Its cache is already reserved: a now-full cache must not block resume.
+        chunks = policy.select_prefill_chunks(waiting, 0, lambda r: False)
+        assert len(chunks) == 1 and chunks[0].cached_tokens == 256
+
+    def test_blocked_first_chunk_stops_admission(self):
+        policy = make_chunked_policy(chunk=256, budget=1024)
+        waiting = make_queue([100, 100])
+        chunks = policy.select_prefill_chunks(waiting, 0, lambda r: r.request_id != 1)
+        assert [c.request.request_id for c in chunks] == [0]
+        assert waiting[0].request_id == 1  # FIFO preserved

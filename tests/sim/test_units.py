@@ -188,3 +188,148 @@ class TestPreemption:
         # still queued, but the unit must never deadlock or over-commit memory.
         assert len(finished) + unit.num_waiting + unit.num_running + len(unit.dropped) == 8
         assert len(finished) >= 1
+
+
+class TestChunkedPrefill:
+    def chunked_limits(self, chunk=1024, budget=1024):
+        return SchedulerLimits(
+            max_prefill_tokens_per_iteration=budget, prefill_chunk_tokens=chunk
+        )
+
+    def run_until_idle(self, unit, now=0.0, max_iters=200):
+        iterations, finished = [], []
+        for _ in range(max_iters):
+            it = unit.next_iteration(now)
+            if it is None:
+                break
+            iterations.append(it)
+            now += it.duration
+            finished += unit.complete_iteration(it, now).finished
+        return iterations, finished, now
+
+    def test_long_prompt_split_across_iterations(self):
+        unit = make_unit(limits=self.chunked_limits(chunk=1024))
+        req = make_request(prompt=3000, output=2)
+        unit.enqueue(req, 0.0)
+        iterations, finished, _ = self.run_until_idle(unit)
+        assert req in finished
+        # 1024 + 1024 + 952 (final chunk) prefill iterations, then decode.
+        chunk_sizes = []
+        for it in iterations:
+            chunk_sizes += [c.new_tokens for c in it.partial_prefills]
+        assert chunk_sizes == [1024, 1024]
+        assert req.prefilled_tokens == 3000
+
+    def test_ttft_stamped_at_last_chunk(self):
+        unit = make_unit(limits=self.chunked_limits(chunk=1024))
+        req = make_request(prompt=3000, output=2)
+        unit.enqueue(req, 0.0)
+        partial_end = 0.0
+        now = 0.0
+        for _ in range(10):
+            it = unit.next_iteration(now)
+            if it is None:
+                break
+            now += it.duration
+            unit.complete_iteration(it, now)
+            if it.partial_prefills:
+                partial_end = now
+                assert req.prefill_completion_time is None  # no token yet
+        assert req.prefill_completion_time is not None
+        assert req.prefill_completion_time > partial_end
+
+    def test_decode_interleaves_with_prefill_chunks(self):
+        unit = make_unit(limits=self.chunked_limits(chunk=512))
+        short = make_request(0, prompt=100, output=20)
+        unit.enqueue(short, 0.0)
+        # Let the short request prefill and start decoding.
+        it = unit.next_iteration(0.0)
+        now = it.duration
+        unit.complete_iteration(it, now)
+        long = make_request(1, prompt=4000, output=2)
+        unit.enqueue(long, now)
+        mixed = 0
+        for _ in range(40):
+            it = unit.next_iteration(now)
+            if it is None:
+                break
+            if it.partial_prefills and short in it.decode_requests:
+                mixed += 1
+            now += it.duration
+            unit.complete_iteration(it, now)
+        # Decode is not starved: it rides along with every prefill chunk.
+        assert mixed >= 4
+        assert short.is_finished and long.is_finished
+
+    def test_preempted_chunked_request_restarts_from_scratch(self):
+        unit = make_unit(limits=self.chunked_limits(chunk=512))
+        req = make_request(prompt=1500, output=2)
+        unit.enqueue(req, 0.0)
+        it = unit.next_iteration(0.0)
+        unit.complete_iteration(it, it.duration)
+        assert req.prefilled_tokens == 512
+        unit._preempt(req)
+        assert req.prefilled_tokens == 0
+        iterations, finished, _ = self.run_until_idle(unit, now=it.duration)
+        assert req in finished
+
+    def test_chunking_off_is_monolithic(self):
+        unit = make_unit(limits=SchedulerLimits())
+        req = make_request(prompt=3000, output=2)
+        unit.enqueue(req, 0.0)
+        it = unit.next_iteration(0.0)
+        assert it.partial_prefills == []
+        assert it.prefill_requests == [req]
+
+
+class TestHandoffShed:
+    def oversized(self, req_id, unit):
+        # A context no empty cache on this unit could ever hold.
+        managers = unit._manager_list
+        max_tokens = min(m.total_blocks * m.block_size for m in managers)
+        return make_request(req_id, prompt=max_tokens + 1024, output=4)
+
+    def prefilled(self, req):
+        req.start_prefill()
+        req.begin_migration()
+        req.end_migration()
+        return req
+
+    def test_impossible_handoffs_shed_not_deadlocked(self):
+        # Regression: two queued hand-offs that can never fit used to make the
+        # decode unit spin forever (the old escape hatch only fired for a
+        # single queued request).
+        unit = make_unit(mode="decode")
+        doomed = [self.prefilled(self.oversized(i, unit)) for i in range(2)]
+        ok = self.prefilled(make_request(7, prompt=200, output=2))
+        for req in doomed:
+            unit.enqueue_prefilled(req, 0.0)
+        unit.enqueue_prefilled(ok, 0.0)
+        it = unit.next_iteration(0.0)
+        assert unit.dropped == doomed
+        # The request queued behind the doomed ones is admitted and decodes.
+        assert it is not None and ok in it.decode_requests
+        now = it.duration
+        finished = unit.complete_iteration(it, now).finished
+        while not ok.is_finished:
+            it = unit.next_iteration(now)
+            assert it is not None
+            now += it.duration
+            finished += unit.complete_iteration(it, now).finished
+        assert ok in finished
+
+    def test_blocked_but_feasible_handoff_waits(self):
+        unit = make_unit(mode="decode")
+        # Fill the unit with a running request, then queue a hand-off that fits
+        # an empty cache but not the current one: it must wait, not shed.
+        managers = unit._manager_list
+        max_tokens = min(m.total_blocks * m.block_size for m in managers)
+        hog = self.prefilled(make_request(0, prompt=int(max_tokens * 0.9), output=50))
+        unit.enqueue_prefilled(hog, 0.0)
+        it = unit.next_iteration(0.0)
+        assert hog in it.decode_requests
+        blocked = self.prefilled(make_request(1, prompt=int(max_tokens * 0.5), output=4))
+        unit.enqueue_prefilled(blocked, 0.0)
+        it2 = unit.next_iteration(1.0)
+        assert blocked not in unit.dropped
+        assert blocked in unit.pending_prefilled
