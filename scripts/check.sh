@@ -25,7 +25,19 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-echo "== full tier: pytest (tests + benchmarks) =="
-python -m pytest -q
+# Coverage floor for the router/cluster layer: src/repro/core + src/repro/sim
+# shipped with thin direct coverage once; the gate keeps that from recurring.
+# pytest-cov is optional locally (the container may not have it) but CI
+# installs it, so the floor is always enforced before merge.
+COV_FLOOR="${COV_FLOOR:-80}"
+if python -c "import pytest_cov" 2>/dev/null; then
+    echo "== full tier: pytest with coverage floor (core+sim >= ${COV_FLOOR}%) =="
+    python -m pytest -q \
+        --cov=src/repro/core --cov=src/repro/sim \
+        --cov-report=term --cov-fail-under="$COV_FLOOR"
+else
+    echo "== full tier: pytest (pytest-cov not installed; coverage floor skipped) =="
+    python -m pytest -q
+fi
 
 echo "all tiers passed"

@@ -31,9 +31,13 @@ from repro.api import (
     quick_serve,
     build_cluster,
     build_system,
+    build_replicated_system,
     available_models,
     available_systems,
     available_datasets,
+    available_routers,
+    available_autoscalers,
+    available_admission_policies,
 )
 
 __all__ = [
@@ -41,7 +45,11 @@ __all__ = [
     "quick_serve",
     "build_cluster",
     "build_system",
+    "build_replicated_system",
     "available_models",
     "available_systems",
     "available_datasets",
+    "available_routers",
+    "available_autoscalers",
+    "available_admission_policies",
 ]

@@ -11,6 +11,12 @@ from typing import List, Optional, Sequence
 
 from repro.baselines import build_hexgen_system, build_splitwise_system, build_static_tp_system
 from repro.core.cluster_system import ROUTER_FACTORIES, ClusterServingSystem, ReplicaRouter
+from repro.core.elasticity import (
+    ADMISSION_FACTORIES,
+    AUTOSCALER_FACTORIES,
+    AdmissionController,
+    AutoscalerPolicy,
+)
 from repro.core.parallelizer import WorkloadHint
 from repro.core.system import build_hetis_system
 from repro.hardware.cluster import Cluster, paper_cluster
@@ -46,20 +52,42 @@ def available_routers() -> List[str]:
     return sorted(ROUTER_FACTORIES)
 
 
+def available_autoscalers() -> List[str]:
+    """Autoscaler policies :func:`build_replicated_system` can construct."""
+    return sorted(AUTOSCALER_FACTORIES)
+
+
+def available_admission_policies() -> List[str]:
+    """Admission controllers :func:`build_replicated_system` can construct."""
+    return sorted(ADMISSION_FACTORIES)
+
+
 def build_cluster(kind: str = "paper") -> Cluster:
-    """Construct a named cluster topology.
+    """Construct a cluster from a named topology or an inline blueprint spec.
 
     ``"paper"`` is the evaluation testbed (4x A100, 4x 3090 across two hosts,
     4x P100); ``"small"`` is a compact 1x A100 + 2x 3090 cluster handy for
-    tests and the Fig.-14 study.
+    tests and the Fig.-14 study.  Any other value is parsed as an inline
+    blueprint: comma-separated ``type:count`` hosts, e.g. ``"a100:4"`` (one
+    4-GPU A100 host) or ``"a100:2,t4:4"`` (an A100 host plus a T4 host) --
+    the per-replica blueprint syntax for heterogeneous replica mixes.
     """
-    from repro.hardware.cluster import simple_cluster
+    from repro.hardware.cluster import ClusterBuilder, simple_cluster
 
     if kind == "paper":
         return paper_cluster()
     if kind == "small":
         return simple_cluster("a100", "rtx3090", n_high=1, n_low=2)
-    raise ValueError(f"unknown cluster kind {kind!r}; use 'paper' or 'small'")
+    if ":" in kind:
+        builder = ClusterBuilder()
+        for host in kind.split(","):
+            name, _, count = host.strip().partition(":")
+            builder.add_host(name, count=int(count or "1"))
+        return builder.build()
+    raise ValueError(
+        f"unknown cluster kind {kind!r}; use 'paper', 'small', or a blueprint "
+        "spec like 'a100:2,t4:4'"
+    )
 
 
 def default_hint(dataset: str, model_name: str) -> WorkloadHint:
@@ -112,29 +140,49 @@ def build_replicated_system(
     router: str | ReplicaRouter = "round-robin",
     cluster_kind: str = "paper",
     clusters: Optional[Sequence[Cluster]] = None,
+    cluster_kinds: Optional[Sequence[str]] = None,
     dataset: str = "sharegpt",
     limits: Optional[SchedulerLimits] = None,
     seed: int = 0,
+    autoscaler: str | AutoscalerPolicy | None = None,
+    admission: str | AdmissionController | None = None,
     **kwargs,
 ) -> ClusterServingSystem:
     """Build ``num_replicas`` copies of a serving system behind a router.
 
-    Each replica gets its own hardware pool: either one entry of ``clusters``
-    (which must then have exactly ``num_replicas`` entries) or a fresh
-    ``cluster_kind`` cluster per replica -- device objects are mutable
+    Each replica gets its own hardware pool: one entry of ``clusters``, or a
+    cluster built from the matching entry of ``cluster_kinds`` (per-replica
+    blueprint specs -- heterogeneous mixes like ``["a100:2", "t4:4"]``), or a
+    fresh ``cluster_kind`` cluster per replica.  Device objects are mutable
     simulation state and must never be shared between replicas.
+
+    ``autoscaler`` / ``admission`` enable elasticity (see
+    :class:`~repro.core.cluster_system.ClusterServingSystem`); both default to
+    off, which preserves the fixed-capacity, admit-everything behaviour
+    bit-for-bit.
     """
     if num_replicas <= 0:
         raise ValueError("num_replicas must be > 0")
+    if clusters is not None and cluster_kinds is not None:
+        raise ValueError("pass clusters or cluster_kinds, not both")
     if clusters is not None and len(clusters) != num_replicas:
         raise ValueError(f"expected {num_replicas} clusters, got {len(clusters)}")
+    if cluster_kinds is not None and len(cluster_kinds) != num_replicas:
+        raise ValueError(f"expected {num_replicas} cluster kinds, got {len(cluster_kinds)}")
     replicas = []
     for idx in range(num_replicas):
-        cluster = clusters[idx] if clusters is not None else build_cluster(cluster_kind)
+        if clusters is not None:
+            cluster = clusters[idx]
+        elif cluster_kinds is not None:
+            cluster = build_cluster(cluster_kinds[idx])
+        else:
+            cluster = build_cluster(cluster_kind)
         replicas.append(
             build_system(system, cluster, model_name, dataset=dataset, limits=limits, **kwargs)
         )
-    return ClusterServingSystem(replicas, router=router, seed=seed)
+    return ClusterServingSystem(
+        replicas, router=router, seed=seed, autoscaler=autoscaler, admission=admission
+    )
 
 
 def run_system(
@@ -159,19 +207,34 @@ def quick_serve(
     phases: Optional[Sequence[RatePhase]] = None,
     num_replicas: int = 1,
     router: str | ReplicaRouter = "round-robin",
+    cluster_kinds: Optional[Sequence[str]] = None,
+    autoscaler: str | AutoscalerPolicy | None = None,
+    admission: str | AdmissionController | None = None,
     **system_kwargs,
 ) -> SimulationResult:
     """One-call end-to-end simulation: build cluster + system + trace, then run.
 
     ``num_replicas > 1`` simulates a data-parallel scale-out: that many
-    independent copies of the deployment (each on its own ``cluster_kind``
-    pool) behind the chosen replica ``router``.
+    independent copies of the deployment behind the chosen replica ``router``
+    -- each on its own ``cluster_kind`` pool, or on per-replica blueprints
+    when ``cluster_kinds`` is given (heterogeneous mixes).  ``autoscaler`` and
+    ``admission`` opt the cluster into elastic serving (replica activation /
+    draining and load-aware admission control); see
+    :func:`build_replicated_system`.
 
     Returns the :class:`~repro.sim.engine.SimulationResult`, whose ``summary``
-    carries normalized latency, TTFT/TPOT percentiles, and throughput.
+    carries normalized latency, TTFT/TPOT percentiles, throughput, and the
+    SLO-attainment/goodput block.
     """
-    if num_replicas > 1:
-        if cluster is not None:
+    if cluster_kinds is not None and num_replicas == 1:
+        num_replicas = len(cluster_kinds)
+    if (
+        num_replicas > 1
+        or cluster_kinds is not None
+        or autoscaler is not None
+        or admission is not None
+    ):
+        if cluster is not None and num_replicas > 1:
             raise ValueError("pass cluster_kind (not a shared cluster) when num_replicas > 1")
         serving: ServingSystem = build_replicated_system(
             system,
@@ -179,8 +242,14 @@ def quick_serve(
             num_replicas,
             router=router,
             cluster_kind=cluster_kind,
+            cluster_kinds=cluster_kinds,
+            # A single-replica elastic run may bring its own cluster: only one
+            # replica ever touches it, so there is no sharing hazard.
+            clusters=[cluster] if cluster is not None else None,
             dataset=dataset,
             seed=seed,
+            autoscaler=autoscaler,
+            admission=admission,
             **system_kwargs,
         )
     else:

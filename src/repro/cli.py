@@ -19,6 +19,9 @@ Examples
     python -m repro plan --model llama-70b --gpus a100:4 rtx3090:2 rtx3090:2 p100:4
     python -m repro serve --system hetis --model llama-13b --dataset sharegpt --rate 8 --requests 60
     python -m repro compare --model opt-30b --dataset humaneval --rate 20 --requests 48
+    python -m repro serve --system static-tp --replicas 4 --router least-kv \
+        --autoscaler target-kv --admission kv-threshold --admission-mode defer
+    python -m repro serve --replica-gpus a100:2 --replica-gpus t4:4 --router weighted-round-robin
 """
 
 from __future__ import annotations
@@ -27,7 +30,16 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.api import available_routers, build_cluster, build_replicated_system, build_system, run_system
+from repro.api import (
+    available_admission_policies,
+    available_autoscalers,
+    available_routers,
+    build_cluster,
+    build_replicated_system,
+    build_system,
+    run_system,
+)
+from repro.core.elasticity import make_admission, make_autoscaler
 from repro.core.parallelizer import Parallelizer, WorkloadHint
 from repro.hardware.cluster import Cluster, ClusterBuilder
 from repro.models.spec import get_model_spec
@@ -72,6 +84,44 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
         "--prefill-chunk-tokens", type=_positive_int, default=None,
         help="enable chunked prefill with this per-iteration chunk size "
              "(default: off, monolithic prefill)",
+    )
+    parser.add_argument(
+        "--replica-gpus", action="append", default=None, metavar="SPEC",
+        help="per-replica cluster blueprint as comma-separated type:count hosts "
+             "(e.g. --replica-gpus a100:2 --replica-gpus t4:4); one flag per "
+             "replica, enables heterogeneous replica mixes and overrides "
+             "--replicas/--gpus",
+    )
+    scaling = parser.add_argument_group("elastic serving (replicated deployments)")
+    scaling.add_argument(
+        "--autoscaler", default=None, choices=available_autoscalers(),
+        help="replica autoscaling policy (default: off, fixed active set)",
+    )
+    scaling.add_argument(
+        "--autoscaler-interval", type=float, default=5.0,
+        help="seconds between autoscaler decisions",
+    )
+    scaling.add_argument(
+        "--autoscaler-target", type=float, default=None,
+        help="policy target: KV utilization in (0,1] for target-kv, "
+             "queue depth per replica for queue-depth",
+    )
+    scaling.add_argument(
+        "--min-replicas", type=_positive_int, default=1,
+        help="lower bound on active replicas when autoscaling",
+    )
+    scaling.add_argument(
+        "--admission", default=None, choices=available_admission_policies(),
+        help="admission control policy (default: off, admit everything)",
+    )
+    scaling.add_argument(
+        "--admission-threshold", type=float, default=None,
+        help="overload bound: KV utilization in (0,1] for kv-threshold, "
+             "queue depth for queue-threshold",
+    )
+    scaling.add_argument(
+        "--admission-mode", default="reject", choices=["reject", "defer"],
+        help="what to do with arrivals while every active replica is overloaded",
     )
 
 
@@ -136,28 +186,73 @@ def cmd_plan(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def _elasticity_from_args(args: argparse.Namespace):
+    """Build the (autoscaler, admission) pair a workload subcommand asked for.
+
+    Out-of-range values are user input, so policy-constructor ValueErrors are
+    re-raised as clean ``error: ...`` exits rather than tracebacks.
+    """
+    autoscaler = None
+    admission = None
+    try:
+        if getattr(args, "autoscaler", None):
+            kwargs = {"interval": args.autoscaler_interval, "min_replicas": args.min_replicas}
+            if args.autoscaler_target is not None:
+                key = (
+                    "target_utilization" if args.autoscaler == "target-kv"
+                    else "target_queue_per_replica"
+                )
+                kwargs[key] = args.autoscaler_target
+            autoscaler = make_autoscaler(args.autoscaler, **kwargs)
+        if getattr(args, "admission", None):
+            kwargs = {"mode": args.admission_mode}
+            if args.admission_threshold is not None:
+                if args.admission == "kv-threshold":
+                    kwargs["max_utilization"] = args.admission_threshold
+                else:
+                    depth = round(args.admission_threshold)
+                    if depth != args.admission_threshold or depth < 1:
+                        raise ValueError(
+                            "--admission-threshold must be a whole number >= 1 "
+                            f"for queue-threshold, got {args.admission_threshold!r}"
+                        )
+                    kwargs["max_queue_depth"] = int(depth)
+            admission = make_admission(args.admission, **kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return autoscaler, admission
+
+
 def _build_serving(name: str, args: argparse.Namespace):
-    """Build the (possibly replicated) system a workload subcommand asked for."""
+    """Build the (possibly replicated, possibly elastic) system a subcommand asked for."""
     replicas = getattr(args, "replicas", 1)
     chunk_tokens = getattr(args, "prefill_chunk_tokens", None)
-    if replicas > 1:
+    replica_specs = getattr(args, "replica_gpus", None)
+    autoscaler, admission = _elasticity_from_args(args)
+    if replica_specs:
+        # Heterogeneous mix: one blueprint spec per replica.
+        clusters = [build_cluster(spec) for spec in replica_specs]
+    elif replicas > 1 or autoscaler is not None or admission is not None:
         clusters = [_cluster_from_args(args.gpus) for _ in range(replicas)]
-        return build_replicated_system(
+    else:
+        return build_system(
             name,
+            _cluster_from_args(args.gpus),
             args.model,
-            replicas,
-            router=args.router,
-            clusters=clusters,
             dataset=args.dataset,
-            seed=args.seed,
             prefill_chunk_tokens=chunk_tokens,
         )
-    return build_system(
+    return build_replicated_system(
         name,
-        _cluster_from_args(args.gpus),
         args.model,
+        len(clusters),
+        router=args.router,
+        clusters=clusters,
         dataset=args.dataset,
+        seed=args.seed,
         prefill_chunk_tokens=chunk_tokens,
+        autoscaler=autoscaler,
+        admission=admission,
     )
 
 
@@ -165,10 +260,27 @@ def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
     system = _build_serving(args.system, args)
     trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
     result = run_system(system, trace)
-    label = args.system if args.replicas == 1 else f"{args.replicas}x {args.system} [{args.router}]"
+    num_replicas = len(getattr(system, "replicas", [None]))
+    label = args.system if num_replicas == 1 else f"{num_replicas}x {args.system} [{args.router}]"
     print(f"{label} serving {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
     print(_HEADER, file=out)
     print(_format_summary(args.system, result), file=out)
+    s = result.summary
+    if args.admission:
+        print(
+            f"admission [{args.admission}/{args.admission_mode}]: "
+            f"{s.num_rejected} rejected ({s.rejection_rate:.1%}), "
+            f"{s.num_deferrals} deferrals; SLO attainment {s.slo_attainment:.1%}, "
+            f"goodput {s.goodput_rps:.2f} req/s",
+            file=out,
+        )
+    if args.autoscaler and getattr(system, "scale_events", None) is not None:
+        timeline = ", ".join(f"t={t:.0f}s->{n}" for t, n in system.scale_events) or "no changes"
+        print(
+            f"autoscaler [{args.autoscaler}]: active replicas {system.num_active}/"
+            f"{num_replicas} at end; timeline: {timeline}",
+            file=out,
+        )
     if result.num_dropped:
         print(f"warning: {result.num_dropped} request(s) dropped (did not fit in cluster memory)", file=out)
     return 0

@@ -37,7 +37,21 @@ from repro.core.cluster_system import (
     PowerOfTwoChoicesRouter,
     ReplicaRouter,
     RoundRobinRouter,
+    WeightedLeastKVRouter,
+    WeightedPowerOfTwoRouter,
+    WeightedRoundRobinRouter,
     make_router,
+)
+from repro.core.elasticity import (
+    AdmissionController,
+    AutoscalerPolicy,
+    KVThresholdAdmission,
+    QueueDepthAutoscaler,
+    QueueThresholdAdmission,
+    ReplicaState,
+    TargetKVUtilizationAutoscaler,
+    make_admission,
+    make_autoscaler,
 )
 
 __all__ = [
@@ -62,5 +76,17 @@ __all__ = [
     "RoundRobinRouter",
     "LeastKVLoadRouter",
     "PowerOfTwoChoicesRouter",
+    "WeightedRoundRobinRouter",
+    "WeightedLeastKVRouter",
+    "WeightedPowerOfTwoRouter",
     "make_router",
+    "AutoscalerPolicy",
+    "TargetKVUtilizationAutoscaler",
+    "QueueDepthAutoscaler",
+    "AdmissionController",
+    "KVThresholdAdmission",
+    "QueueThresholdAdmission",
+    "ReplicaState",
+    "make_autoscaler",
+    "make_admission",
 ]

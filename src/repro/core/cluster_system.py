@@ -21,6 +21,22 @@ Routers implemented:
     Sample two distinct replicas with a seeded generator and pick the one with
     the lower KV utilisation -- the classic "power of two choices" trade-off
     between router state and balance, and deterministic under a fixed seed.
+``weighted-round-robin`` / ``weighted-least-kv`` / ``weighted-power-of-two``
+    Capacity-weighted variants for heterogeneous replica mixes (e.g. an A100
+    replica next to a T4 replica): the round-robin variant interleaves
+    smoothly in proportion to each replica's KV capacity, the least-kv variant
+    breaks utilisation ties toward the larger replica, and the power-of-two
+    variant samples its two candidates with capacity-proportional probability.
+
+Elasticity (optional, both off by default):
+
+* an :class:`~repro.core.elasticity.AutoscalerPolicy` activates/drains
+  replicas on a decision interval -- drained replicas finish in-flight work
+  but receive no new arrivals, so the engine's unit set never mutates and
+  determinism is preserved;
+* an :class:`~repro.core.elasticity.AdmissionController` rejects or defers
+  arrivals while every *active* replica is over a KV/queue threshold, feeding
+  the SLO-attainment/goodput metrics block.
 """
 
 from __future__ import annotations
@@ -28,9 +44,16 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.engine import ServingSystem
+from repro.core.elasticity import (
+    AdmissionController,
+    AutoscalerPolicy,
+    ReplicaState,
+    make_admission,
+    make_autoscaler,
+)
+from repro.sim.engine import ADMIT, AdmissionDecision, ServingSystem
 from repro.sim.iteration import Iteration, IterationOutcome
-from repro.sim.recorder import TimeSeriesRecorder
+from repro.sim.recorder import PrefixedRecorderView, TimeSeriesRecorder
 from repro.sim.request import Request
 from repro.sim.units import ExecutionUnit
 from repro.utils.rng import make_rng
@@ -46,14 +69,71 @@ def replica_kv_utilization(replica: ServingSystem) -> float:
     return sum(values) / len(values)
 
 
+def replica_queue_depth(replica: ServingSystem) -> int:
+    """Requests waiting (including pending hand-offs) across a replica's units."""
+    return sum(unit.num_waiting for unit in replica.units)
+
+
 class ReplicaRouter(abc.ABC):
-    """Chooses which replica accepts a fresh arrival."""
+    """Chooses which replica accepts a fresh arrival.
+
+    The base class memoises the two quantities load-aware routers keep asking
+    for: ``kv_load(replica, now)`` caches :func:`replica_kv_utilization` per
+    ``(replica, now)`` -- utilisation only changes when simulated time
+    advances, so same-timestamp arrival bursts must not rescan every unit of
+    the whole cluster per arrival -- and ``capacity(replica)`` caches the
+    replica's fixed KV capacity for the lifetime of the router.
+    """
 
     name: str = "router"
 
+    def __init__(self) -> None:
+        self._util_cache: Dict[int, float] = {}
+        self._util_cache_time: Optional[float] = None
+        self._capacity_cache: Dict[int, float] = {}
+
+    def kv_load(self, replica: ServingSystem, now: float) -> float:
+        """Memoised :func:`replica_kv_utilization` for the current timestamp."""
+        # Lazy-init via __dict__: pre-existing user routers subclassed an ABC
+        # with no __init__, so they cannot be required to call super().
+        if getattr(self, "_util_cache_time", object()) != now:
+            self._util_cache_time = now
+            self._util_cache = {}
+        key = id(replica)
+        load = self._util_cache.get(key)
+        if load is None:
+            load = self._util_cache[key] = replica_kv_utilization(replica)
+        return load
+
+    def invalidate(self, replica: ServingSystem) -> None:
+        """Drop one replica's cached load.
+
+        Called by the owning cluster when the replica's state changes *within*
+        a timestamp (it received an arrival, or one of its units completed an
+        iteration), so same-timestamp bursts see fresh load for the replicas
+        that actually changed while still never rescanning the untouched rest
+        of the cluster.
+        """
+        cache = getattr(self, "_util_cache", None)
+        if cache is not None:
+            cache.pop(id(replica), None)
+
+    def capacity(self, replica: ServingSystem) -> float:
+        """Memoised fixed KV capacity (bytes) -- the heterogeneity weight."""
+        cache = self.__dict__.setdefault("_capacity_cache", {})
+        key = id(replica)
+        cap = cache.get(key)
+        if cap is None:
+            cap = cache[key] = float(replica.available_cache_bytes())
+        return cap
+
     @abc.abstractmethod
     def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
-        """Return the index of the replica that accepts ``request``."""
+        """Return the index of the replica that accepts ``request``.
+
+        ``replicas`` is the list of *routable* (active) replicas; the returned
+        index refers into that list.
+        """
 
 
 class RoundRobinRouter(ReplicaRouter):
@@ -62,6 +142,7 @@ class RoundRobinRouter(ReplicaRouter):
     name = "round-robin"
 
     def __init__(self) -> None:
+        super().__init__()
         self._next = 0
 
     def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
@@ -77,9 +158,9 @@ class LeastKVLoadRouter(ReplicaRouter):
 
     def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
         best_idx = 0
-        best_load = replica_kv_utilization(replicas[0])
+        best_load = self.kv_load(replicas[0], now)
         for idx in range(1, len(replicas)):
-            load = replica_kv_utilization(replicas[idx])
+            load = self.kv_load(replicas[idx], now)
             if load < best_load:
                 best_idx, best_load = idx, load
         return best_idx
@@ -95,6 +176,7 @@ class PowerOfTwoChoicesRouter(ReplicaRouter):
     name = "power-of-two"
 
     def __init__(self, seed: int = 0) -> None:
+        super().__init__()
         self._rng = make_rng(seed)
 
     def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
@@ -102,7 +184,97 @@ class PowerOfTwoChoicesRouter(ReplicaRouter):
         if n == 1:
             return 0
         first, second = (int(i) for i in self._rng.choice(n, size=2, replace=False))
-        if replica_kv_utilization(replicas[second]) < replica_kv_utilization(replicas[first]):
+        if self.kv_load(replicas[second], now) < self.kv_load(replicas[first], now):
+            return second
+        return first
+
+
+class WeightedRoundRobinRouter(ReplicaRouter):
+    """Smooth weighted round-robin over replica KV capacities.
+
+    The nginx-style interleaving: every replica accumulates credit equal to
+    its capacity weight per arrival, the highest-credit replica wins and pays
+    the total weight back.  Over any window the share each replica receives is
+    proportional to its capacity, and the winners interleave smoothly instead
+    of bunching.  Credit is keyed by replica identity, so replicas drained by
+    an autoscaler simply stop accumulating until reactivated.
+    """
+
+    name = "weighted-round-robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._credit: Dict[int, float] = {}
+
+    def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
+        weights = [self.capacity(r) for r in replicas]
+        total = sum(weights)
+        if total <= 0:
+            weights = [1.0] * len(replicas)
+            total = float(len(replicas))
+        best_idx = 0
+        best_credit = -float("inf")
+        for idx, replica in enumerate(replicas):
+            key = id(replica)
+            credit = self._credit.get(key, 0.0) + weights[idx]
+            self._credit[key] = credit
+            if credit > best_credit:
+                best_idx, best_credit = idx, credit
+        self._credit[id(replicas[best_idx])] -= total
+        return best_idx
+
+
+class WeightedLeastKVRouter(ReplicaRouter):
+    """Lowest utilisation, ties broken toward the larger-capacity replica.
+
+    Utilisation is already capacity-normalised (a fraction of each replica's
+    own cache), so comparing it across heterogeneous replicas equalises
+    *relative* load; the capacity tie-break sends cold-start bursts (all
+    replicas at 0.0) to the big replicas first instead of index order.
+    """
+
+    name = "weighted-least-kv"
+
+    def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
+        best_idx = 0
+        best = (self.kv_load(replicas[0], now), -self.capacity(replicas[0]))
+        for idx in range(1, len(replicas)):
+            score = (self.kv_load(replicas[idx], now), -self.capacity(replicas[idx]))
+            if score < best:
+                best_idx, best = idx, score
+        return best_idx
+
+
+class WeightedPowerOfTwoRouter(ReplicaRouter):
+    """Power-of-two choices with capacity-proportional candidate sampling.
+
+    Large replicas are sampled (and therefore loaded) more often, which is
+    exactly the behaviour plain power-of-two lacks on heterogeneous mixes:
+    with uniform sampling a T4 replica would see as much traffic as an A100
+    replica.  Deterministic under a fixed seed.
+    """
+
+    name = "weighted-power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = make_rng(seed)
+
+    def select(self, request: Request, replicas: Sequence[ServingSystem], now: float) -> int:
+        n = len(replicas)
+        if n == 1:
+            return 0
+        weights = [self.capacity(r) for r in replicas]
+        total = sum(weights)
+        probs = [w / total for w in weights] if total > 0 else None
+        first, second = (int(i) for i in self._rng.choice(n, size=2, replace=False, p=probs))
+        load_first = self.kv_load(replicas[first], now)
+        load_second = self.kv_load(replicas[second], now)
+        if load_second < load_first:
+            return second
+        if load_second == load_first and self.capacity(replicas[second]) > self.capacity(
+            replicas[first]
+        ):
             return second
         return first
 
@@ -111,10 +283,13 @@ ROUTER_FACTORIES = {
     "round-robin": lambda seed: RoundRobinRouter(),
     "least-kv": lambda seed: LeastKVLoadRouter(),
     "power-of-two": lambda seed: PowerOfTwoChoicesRouter(seed),
+    "weighted-round-robin": lambda seed: WeightedRoundRobinRouter(),
+    "weighted-least-kv": lambda seed: WeightedLeastKVRouter(),
+    "weighted-power-of-two": lambda seed: WeightedPowerOfTwoRouter(seed),
 }
 
 
-def make_router(router: str | ReplicaRouter, seed: int = 0) -> ReplicaRouter:
+def make_router(router: "str | ReplicaRouter", seed: int = 0) -> ReplicaRouter:
     """Resolve a router name (or pass through an instance)."""
     if isinstance(router, ReplicaRouter):
         return router
@@ -127,24 +302,10 @@ def make_router(router: str | ReplicaRouter, seed: int = 0) -> ReplicaRouter:
     return factory(seed)
 
 
-class _ReplicaRecorderView:
-    """Recorder facade that prefixes keys with the owning replica's tag.
-
-    Replicas are usually built from the same cluster blueprint, so their unit
-    and device names collide; without the prefix, per-device time series from
-    different replicas would silently merge under one key.
-    """
-
-    def __init__(self, inner: TimeSeriesRecorder, prefix: str) -> None:
-        self._inner = inner
-        self._prefix = prefix
-
-    def record(self, series: str, key: str, time: float, value: float) -> None:
-        self._inner.record(series, self._prefix + key, time, value)
-
-    def record_many(self, series: str, time: float, values: Dict[str, float]) -> None:
-        for key, value in values.items():
-            self._inner.record(series, self._prefix + key, time, value)
+# Replicas usually share a cluster blueprint, so their unit and device names
+# collide; the per-replica prefix keeps their time series apart.  The view
+# lives in repro.sim.recorder; the alias preserves this module's old name.
+_ReplicaRecorderView = PrefixedRecorderView
 
 
 class ClusterServingSystem(ServingSystem):
@@ -153,19 +314,47 @@ class ClusterServingSystem(ServingSystem):
     Each replica must be a complete, independent deployment (its own cluster
     object / device pool): the composition only shares the event clock, which
     is exactly the data-parallel scale-out setting.
+
+    Parameters
+    ----------
+    replicas:
+        The member deployments.  They may be heterogeneous (built from
+        different cluster blueprints); the ``weighted-*`` routers account for
+        the capacity differences.
+    router:
+        Router name or instance (see :data:`ROUTER_FACTORIES`).
+    autoscaler:
+        Optional :class:`~repro.core.elasticity.AutoscalerPolicy` (or factory
+        name) that activates/drains replicas on its decision interval.  When
+        set, the run starts with ``autoscaler.initial_active`` replicas
+        active; without one, every replica is always active and no control
+        ticks are scheduled -- the pre-elasticity event path, bit-for-bit.
+    admission:
+        Optional :class:`~repro.core.elasticity.AdmissionController` (or
+        factory name) consulted before each arrival is routed.
     """
 
     def __init__(
         self,
         replicas: Sequence[ServingSystem],
-        router: str | ReplicaRouter = "round-robin",
+        router: "str | ReplicaRouter" = "round-robin",
         seed: int = 0,
         name: Optional[str] = None,
+        autoscaler: "str | AutoscalerPolicy | None" = None,
+        admission: "str | AdmissionController | None" = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
         self.replicas: List[ServingSystem] = list(replicas)
         self.router = make_router(router, seed)
+        self.autoscaler = make_autoscaler(autoscaler)
+        self.admission = make_admission(admission)
+        # Policy instances may be reused across simulations; their per-run
+        # state (hysteresis, defer budgets) belongs to this system's run.
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+        if self.admission is not None:
+            self.admission.reset()
         self.name = name or f"cluster[{len(self.replicas)}x{self.replicas[0].name}]"
         # Flattened unit set and the unit -> owning replica map.  Unit lists
         # are fixed after construction (the engine relies on this), so both
@@ -173,21 +362,120 @@ class ClusterServingSystem(ServingSystem):
         self._units: List[ExecutionUnit] = []
         self._owner_of: Dict[int, Tuple[int, ServingSystem]] = {}
         self.requests_per_replica: List[int] = [0] * len(self.replicas)
+        self._recorder_views: List[Optional[PrefixedRecorderView]] = [None] * len(self.replicas)
         for replica_idx, replica in enumerate(self.replicas):
             for unit in replica.units:
                 self._units.append(unit)
                 self._owner_of[id(unit)] = (replica_idx, replica)
+        self._capacities = [float(r.available_cache_bytes()) for r in self.replicas]
+        # Activation state: without an autoscaler everything is always active;
+        # with one, the first ``initial_active`` replicas start active and the
+        # rest wait to be scaled in.
+        n_initial = len(self.replicas)
+        if self.autoscaler is not None:
+            n_initial = max(1, min(self.autoscaler.initial_active, len(self.replicas)))
+        self.active: List[bool] = [i < n_initial for i in range(len(self.replicas))]
+        self.scale_events: List[Tuple[float, int]] = []
+        # Per-timestamp ReplicaState memo (same invalidation discipline as the
+        # router's kv_load cache): admission consults the full snapshot on
+        # every arrival, which must not rescan every unit of every replica
+        # within a same-timestamp burst.
+        self._state_cache: Dict[int, Tuple[float, ReplicaState]] = {}
 
     @property
     def units(self) -> List[ExecutionUnit]:
         return self._units
 
+    @property
+    def num_active(self) -> int:
+        return sum(self.active)
+
+    def active_replicas(self) -> List[ServingSystem]:
+        return [r for r, a in zip(self.replicas, self.active) if a]
+
+    def _invalidate(self, idx: int) -> None:
+        """One replica's state changed within the current timestamp."""
+        self._state_cache.pop(idx, None)
+        self.router.invalidate(self.replicas[idx])
+
+    def replica_states(self, now: float) -> List[ReplicaState]:
+        """Load snapshot of every replica (policies and tests read this).
+
+        Memoised per (replica, timestamp) and invalidated per replica when an
+        arrival is routed to it or one of its units completes an iteration --
+        same-timestamp bursts therefore rescan only the replicas that changed.
+        """
+        states: List[ReplicaState] = []
+        for idx, replica in enumerate(self.replicas):
+            cached = self._state_cache.get(idx)
+            if cached is not None and cached[0] == now and cached[1].active == self.active[idx]:
+                states.append(cached[1])
+                continue
+            state = ReplicaState(
+                index=idx,
+                active=self.active[idx],
+                kv_utilization=self.router.kv_load(replica, now),
+                queue_depth=replica_queue_depth(replica),
+                num_running=sum(u.num_running for u in replica.units),
+                capacity_bytes=self._capacities[idx],
+            )
+            self._state_cache[idx] = (now, state)
+            states.append(state)
+        return states
+
+    # -- engine hooks: admission, routing, control ----------------------------------
+
+    def admit(self, request: Request, now: float) -> AdmissionDecision:
+        if self.admission is None:
+            return ADMIT
+        return self.admission.decide(request, self.replica_states(now), now)
+
     def route(self, request: Request, now: float) -> ExecutionUnit:
-        idx = self.router.select(request, self.replicas, now)
-        if not 0 <= idx < len(self.replicas):
-            raise ValueError(f"router {self.router.name} chose invalid replica {idx}")
+        candidates = [idx for idx, a in enumerate(self.active) if a]
+        if not candidates:  # pragma: no cover - active set is never empty
+            candidates = list(range(len(self.replicas)))
+        pool = [self.replicas[idx] for idx in candidates]
+        local = self.router.select(request, pool, now)
+        if not 0 <= local < len(pool):
+            raise ValueError(f"router {self.router.name} chose invalid replica {local}")
+        idx = candidates[local]
         self.requests_per_replica[idx] += 1
+        # The accepted arrival is about to enqueue (and possibly allocate KV)
+        # on this replica: later same-timestamp decisions must see fresh load.
+        self._invalidate(idx)
         return self.replicas[idx].route(request, now)
+
+    def control_interval(self) -> Optional[float]:
+        return self.autoscaler.interval if self.autoscaler is not None else None
+
+    def on_control_tick(self, now: float, recorder: TimeSeriesRecorder) -> None:
+        if self.autoscaler is None:
+            return
+        states = self.replica_states(now)
+        desired = self.autoscaler.desired_active(states, now)
+        desired = max(1, min(desired, len(self.replicas)))
+        current = self.num_active
+        if desired > current:
+            # Activate in index order: lowest-index inactive replicas first.
+            for idx, a in enumerate(self.active):
+                if current == desired:
+                    break
+                if not a:
+                    self.active[idx] = True
+                    current += 1
+        elif desired < current:
+            # Drain from the top: highest-index active replicas first.  The
+            # drained replica keeps finishing its in-flight requests; it just
+            # stops being a routing candidate.
+            for idx in range(len(self.active) - 1, -1, -1):
+                if current == desired:
+                    break
+                if self.active[idx]:
+                    self.active[idx] = False
+                    current -= 1
+        recorder.record("active_replicas", "cluster", now, float(current))
+        if not self.scale_events or self.scale_events[-1][1] != current:
+            self.scale_events.append((now, current))
 
     def on_iteration(
         self,
@@ -198,12 +486,24 @@ class ClusterServingSystem(ServingSystem):
         recorder: TimeSeriesRecorder,
     ) -> List[Tuple[ExecutionUnit, Request, float]]:
         replica_idx, owner = self._owner_of[id(unit)]
-        view = _ReplicaRecorderView(recorder, f"r{replica_idx}/")
+        # A completed iteration frees/advances KV and drains queues: drop the
+        # replica's cached load so same-timestamp routing sees the new state.
+        self._invalidate(replica_idx)
+        view = self._recorder_views[replica_idx]
+        if view is None or view._inner is not recorder:
+            view = PrefixedRecorderView(recorder, f"r{replica_idx}/")
+            self._recorder_views[replica_idx] = view
         return owner.on_iteration(unit, iteration, outcome, now, view)
 
     def available_cache_bytes(self) -> float:
-        return float(sum(r.available_cache_bytes() for r in self.replicas))
+        return float(sum(self._capacities))
 
     def describe(self) -> str:
         inner = " || ".join(r.describe() for r in self.replicas)
-        return f"{self.name} via {self.router.name}: {inner}"
+        extras = []
+        if self.autoscaler is not None:
+            extras.append(f"autoscaler={self.autoscaler.name}@{self.autoscaler.interval:g}s")
+        if self.admission is not None:
+            extras.append(f"admission={self.admission.name}[{self.admission.mode}]")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"{self.name} via {self.router.name}{suffix}: {inner}"

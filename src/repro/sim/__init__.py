@@ -19,13 +19,16 @@ runs any system against a workload trace.
 
 from repro.sim.request import Request, RequestStatus
 from repro.sim.iteration import Iteration, IterationOutcome
-from repro.sim.metrics import MetricsCollector, RequestRecord, SummaryStats, percentile
-from repro.sim.recorder import TimeSeriesRecorder
+from repro.sim.metrics import MetricsCollector, RequestRecord, SLOSpec, SummaryStats, percentile
+from repro.sim.recorder import PrefixedRecorderView, TimeSeriesRecorder
 from repro.sim.scheduler import ContinuousBatchingPolicy, SchedulerLimits
 from repro.sim.units import ExecutionUnit, StaticPipelineUnit
-from repro.sim.engine import Engine, ServingSystem, SimulationResult
+from repro.sim.engine import AdmissionDecision, Engine, ServingSystem, SimulationResult
 
 __all__ = [
+    "AdmissionDecision",
+    "PrefixedRecorderView",
+    "SLOSpec",
     "Request",
     "RequestStatus",
     "Iteration",

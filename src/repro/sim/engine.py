@@ -24,6 +24,28 @@ from repro.sim.units import ExecutionUnit
 from repro.workloads.trace import Trace
 
 
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of a system's admission check for one arrival.
+
+    ``action`` is one of ``"admit"``, ``"reject"``, or ``"defer"``; a deferred
+    arrival is re-presented to the system ``retry_delay`` seconds later as a
+    fresh arrival event (same request object, so the system can bound retries).
+    """
+
+    action: str = "admit"
+    retry_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("admit", "reject", "defer"):
+            raise ValueError(f"invalid admission action {self.action!r}")
+        if self.action == "defer" and self.retry_delay <= 0:
+            raise ValueError("defer requires retry_delay > 0")
+
+
+ADMIT = AdmissionDecision("admit")
+
+
 class ServingSystem(abc.ABC):
     """A complete serving deployment: units plus routing/hand-off policy."""
 
@@ -37,6 +59,28 @@ class ServingSystem(abc.ABC):
     @abc.abstractmethod
     def route(self, request: Request, now: float) -> ExecutionUnit:
         """Choose the unit that accepts a fresh arrival."""
+
+    def admit(self, request: Request, now: float) -> AdmissionDecision:
+        """Admission check run before :meth:`route` sees an arrival.
+
+        The default admits everything, which keeps legacy systems (and any
+        system without an admission controller) on the exact pre-admission
+        event path.
+        """
+        return ADMIT
+
+    def control_interval(self) -> Optional[float]:
+        """Period (seconds) of the engine's control-plane tick, or ``None``.
+
+        Systems with time-based control policies (replica autoscalers) return
+        the decision interval here; the engine then calls
+        :meth:`on_control_tick` on that grid while the run is live.  ``None``
+        (the default) schedules no control events at all.
+        """
+        return None
+
+    def on_control_tick(self, now: float, recorder: TimeSeriesRecorder) -> None:
+        """Control-plane hook invoked every :meth:`control_interval` seconds."""
 
     def on_iteration(
         self,
@@ -92,10 +136,12 @@ class SimulationResult:
 
 
 # Event kinds, ordered so ties at identical timestamps resolve deterministically:
-# hand-offs land before arrivals, arrivals before iteration completions.
+# hand-offs land before arrivals, arrivals before iteration completions, and
+# control-plane ticks observe the fully settled state of their timestamp.
 _KIND_ENQUEUE = 0
 _KIND_ARRIVAL = 1
 _KIND_UNIT_DONE = 2
+_KIND_CONTROL = 3
 
 
 class Engine:
@@ -169,6 +215,14 @@ class Engine:
         # same-timestamp completion.
         sweep_pending = False
 
+        # Control-plane clock: systems that autoscale (or run any other
+        # periodic policy) get a tick every ``control_interval`` seconds.  The
+        # tick re-arms itself only while other events remain, so an idle run
+        # still terminates.
+        control_interval = self.system.control_interval()
+        if control_interval is not None and control_interval > 0 and events:
+            heappush(events, (control_interval, _KIND_CONTROL, next(counter), None))
+
         while events:
             processed += 1
             if processed > self.max_events:
@@ -180,10 +234,20 @@ class Engine:
 
             if kind == _KIND_ARRIVAL:
                 request = payload  # type: ignore[assignment]
-                self.metrics.observe_arrival(now)
-                unit = self.system.route(request, now)
-                unit.enqueue(request, now)
-                maybe_start(unit, now)
+                decision = self.system.admit(request, now)
+                if decision.action == "reject":
+                    self.metrics.observe_rejection(request, now)
+                elif decision.action == "defer":
+                    self.metrics.observe_deferral(request, now)
+                    heappush(
+                        events,
+                        (now + decision.retry_delay, _KIND_ARRIVAL, next(counter), request),
+                    )
+                else:
+                    self.metrics.observe_arrival(now)
+                    unit = self.system.route(request, now)
+                    unit.enqueue(request, now)
+                    maybe_start(unit, now)
 
             elif kind == _KIND_ENQUEUE:
                 unit, request = payload  # type: ignore[misc]
@@ -210,6 +274,13 @@ class Engine:
                     )
                 maybe_start(unit, now)
                 sweep_pending = True
+
+            elif kind == _KIND_CONTROL:
+                self.system.on_control_tick(now, self.recorder)
+                if events:
+                    heappush(
+                        events, (now + control_interval, _KIND_CONTROL, next(counter), None)
+                    )
 
             if sweep_pending and (not events or events[0][0] > now):
                 sweep_pending = False

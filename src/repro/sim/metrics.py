@@ -71,6 +71,23 @@ class RequestRecord:
         )
 
 
+@dataclass(frozen=True)
+class SLOSpec:
+    """Per-request latency objectives used for goodput accounting.
+
+    A finished request *attains* the SLO when its TTFT and TPOT are both at or
+    below the respective bounds; goodput is the throughput of attaining
+    requests only.  The defaults are deliberately loose (interactive-chat
+    scale) so that unconfigured runs report near-1.0 attainment.
+    """
+
+    ttft_s: float = 10.0
+    tpot_s: float = 0.5
+
+    def attained(self, ttft: float, tpot: float) -> bool:
+        return ttft <= self.ttft_s and tpot <= self.tpot_s
+
+
 @dataclass
 class SummaryStats:
     """Aggregate statistics over a completed simulation."""
@@ -88,6 +105,12 @@ class SummaryStats:
     total_preemptions: int
     p95_module_latency: Dict[str, float] = field(default_factory=dict)
     mean_module_latency: Dict[str, float] = field(default_factory=dict)
+    # SLO-attainment / goodput block (admission control & elasticity runs).
+    num_rejected: int = 0
+    num_deferrals: int = 0
+    slo_attainment: float = 1.0
+    goodput_rps: float = 0.0
+    rejection_rate: float = 0.0
 
     @property
     def normalized_latency(self) -> float:
@@ -98,15 +121,40 @@ class SummaryStats:
 class MetricsCollector:
     """Accumulates request records and module-time samples during a run."""
 
-    def __init__(self) -> None:
+    def __init__(self, slo: Optional[SLOSpec] = None) -> None:
         self.records: List[RequestRecord] = []
         self.module_samples: Dict[str, List[float]] = {}
+        self.slo = slo or SLOSpec()
+        self.num_rejected = 0
+        self.num_deferrals = 0
+        self.num_arrivals = 0
         self._start_time: Optional[float] = None
         self._end_time: float = 0.0
 
     # -- recording ------------------------------------------------------------------
 
     def observe_arrival(self, now: float) -> None:
+        self.num_arrivals += 1
+        if self._start_time is None or now < self._start_time:
+            self._start_time = now
+        self._end_time = max(self._end_time, now)
+
+    def observe_rejection(self, request: Request, now: float) -> None:
+        """An arrival turned away by admission control (never served)."""
+        self.num_rejected += 1
+        if self._start_time is None or now < self._start_time:
+            self._start_time = now
+        self._end_time = max(self._end_time, now)
+
+    def observe_deferral(self, request: Request, now: float) -> None:
+        """An arrival pushed back for a later admission retry.
+
+        The deferral still marks load offered at ``now``: without widening the
+        observation window here, a run that opens saturated (first arrivals
+        all deferred) would start its duration clock at the first *retry* and
+        over-report throughput/goodput.
+        """
+        self.num_deferrals += 1
         if self._start_time is None or now < self._start_time:
             self._start_time = now
         self._end_time = max(self._end_time, now)
@@ -133,6 +181,11 @@ class MetricsCollector:
         ttft = [r.ttft for r in self.records]
         tpot = [r.tpot for r in self.records]
         tokens = sum(r.output_tokens for r in self.records)
+        num_attained = sum(1 for r in self.records if self.slo.attained(r.ttft, r.tpot))
+        # Offered load = every admitted arrival (finished or not) plus every
+        # rejection; using finished counts alone would overstate the rate on
+        # runs truncated by max_simulated_time/max_events.
+        num_offered = self.num_arrivals + self.num_rejected
         return SummaryStats(
             num_finished=len(self.records),
             duration=duration,
@@ -149,4 +202,9 @@ class MetricsCollector:
             mean_module_latency={
                 k: float(np.mean(v)) if v else 0.0 for k, v in self.module_samples.items()
             },
+            num_rejected=self.num_rejected,
+            num_deferrals=self.num_deferrals,
+            slo_attainment=num_attained / len(self.records) if self.records else 1.0,
+            goodput_rps=num_attained / duration,
+            rejection_rate=self.num_rejected / num_offered if num_offered else 0.0,
         )

@@ -65,3 +65,40 @@ class TimeSeriesRecorder:
         idx = np.searchsorted(times, grid, side="right") - 1
         out = np.where(idx >= 0, values[np.clip(idx, 0, len(values) - 1)], 0.0)
         return out
+
+
+class PrefixedRecorderView:
+    """Recorder facade that prefixes every written key with a namespace tag.
+
+    Composed systems (e.g. several same-blueprint replicas behind a router)
+    reuse unit and device names, so their per-device time series would silently
+    merge under one key without a disambiguating prefix.  Only the two write
+    methods prefix; every other attribute (queries such as ``keys``/``raw``,
+    or further writes by nested views) is forwarded to the wrapped recorder
+    unchanged, so the view is a drop-in ``TimeSeriesRecorder`` everywhere a
+    hook only holds the facade.
+
+    The prefix must end with ``/`` and raw keys must not contain ``/``; this
+    makes a prefixed key structurally distinct from any unprefixed key (and
+    from any key written under a different prefix), so namespaces can never
+    collide.
+    """
+
+    def __init__(self, inner: "TimeSeriesRecorder | PrefixedRecorderView", prefix: str) -> None:
+        if not prefix.endswith("/"):
+            raise ValueError(f"prefix must end with '/': {prefix!r}")
+        self._inner = inner
+        self._prefix = prefix
+
+    def record(self, series: str, key: str, time: float, value: float) -> None:
+        self._inner.record(series, self._prefix + key, time, value)
+
+    def record_many(self, series: str, time: float, values: Dict[str, float]) -> None:
+        for key, value in values.items():
+            self._inner.record(series, self._prefix + key, time, value)
+
+    def __getattr__(self, name: str):
+        # Defensive passthrough: recorder methods beyond record/record_many
+        # (queries, future write helpers) work on the view too instead of
+        # raising AttributeError inside a system hook.
+        return getattr(self._inner, name)

@@ -172,6 +172,33 @@ class StaticPipelineUnit(ExecutionUnit):
                 return False
         return True
 
+    def _batch_admit_checker(self):
+        """A ``can_admit`` callable that accounts for the batch it approves.
+
+        The selectors check candidates one by one, but every approved request
+        allocates its full context only after selection finishes -- so a
+        per-candidate ``_can_host`` lets two requests through that each fit
+        alone yet not together, and the second allocation blows up.  The
+        returned checker keeps a running block reservation per manager; sums
+        of per-request block needs equal the blocks the later allocations
+        take, so single-candidate decisions are unchanged.
+        """
+        reserved: Dict[int, int] = {}
+
+        def can_admit(request: Request) -> bool:
+            tokens = request.context_length
+            needs = []
+            for m in self._manager_list:
+                need = m.blocks_needed(tokens)
+                if reserved.get(id(m), 0) + need > m.free_blocks:
+                    return False
+                needs.append((m, need))
+            for m, need in needs:
+                reserved[id(m)] = reserved.get(id(m), 0) + need
+            return True
+
+        return can_admit
+
     def _can_ever_host(self, context_tokens: int) -> bool:
         """Whether ``context_tokens`` would fit even in a completely empty cache."""
         for m in self._manager_list:
@@ -283,7 +310,7 @@ class StaticPipelineUnit(ExecutionUnit):
             prefill_chunks = self.policy.select_prefill_chunks(
                 self.waiting,
                 num_running=len(self.running),
-                can_admit=lambda r: self._can_host(r.context_length),
+                can_admit=self._batch_admit_checker(),
             )
             for chunk in prefill_chunks:
                 req = chunk.request

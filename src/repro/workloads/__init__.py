@@ -20,6 +20,8 @@ from repro.workloads.arrivals import (
     poisson_arrivals,
     constant_rate_arrivals,
     piecewise_rate_arrivals,
+    diurnal_phases,
+    spike_phases,
     RatePhase,
 )
 from repro.workloads.trace import Trace, generate_trace
@@ -33,6 +35,8 @@ __all__ = [
     "poisson_arrivals",
     "constant_rate_arrivals",
     "piecewise_rate_arrivals",
+    "diurnal_phases",
+    "spike_phases",
     "RatePhase",
     "Trace",
     "generate_trace",

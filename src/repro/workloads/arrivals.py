@@ -2,7 +2,10 @@
 
 The end-to-end experiments (Figs. 8--10, 12) use Poisson arrivals at a range
 of rates; the dynamic-behaviour study (Fig. 14) uses a piecewise rate schedule
-(5 req/s, then idle, then 2.5 req/s, then idle).
+(5 req/s, then idle, then 2.5 req/s, then idle).  :func:`diurnal_phases` and
+:func:`spike_phases` build common piecewise schedules -- a day/night load
+curve and a flash-crowd pattern -- used to exercise replica autoscaling and
+admission control.
 """
 
 from __future__ import annotations
@@ -76,3 +79,63 @@ def piecewise_rate_arrivals(
                 arrivals.append(cur)
         t = end
     return arrivals
+
+
+def diurnal_phases(
+    base_rate: float,
+    peak_rate: float,
+    period: float = 600.0,
+    num_segments: int = 12,
+    cycles: int = 1,
+) -> List[RatePhase]:
+    """Piecewise-constant approximation of a day/night (sinusoidal) load curve.
+
+    One cycle ramps from ``base_rate`` (midnight) up to ``peak_rate`` (midday)
+    and back, following ``base + (peak - base) * (1 - cos(2*pi*x)) / 2``
+    sampled at the midpoint of each of ``num_segments`` equal segments.  The
+    default period is compressed to 10 simulated minutes so autoscaling
+    experiments stay cheap; pass ``period=86400`` for a literal day.
+    """
+    if peak_rate < base_rate:
+        raise ValueError("peak_rate must be >= base_rate")
+    if base_rate < 0:
+        raise ValueError("base_rate must be >= 0")
+    if num_segments < 2:
+        raise ValueError("num_segments must be >= 2")
+    if cycles < 1:
+        raise ValueError("cycles must be >= 1")
+    seg_duration = period / num_segments
+    one_cycle = [
+        RatePhase(
+            rate=base_rate
+            + (peak_rate - base_rate) * 0.5 * (1.0 - np.cos(2.0 * np.pi * (i + 0.5) / num_segments)),
+            duration=seg_duration,
+        )
+        for i in range(num_segments)
+    ]
+    return one_cycle * cycles
+
+
+def spike_phases(
+    base_rate: float,
+    spike_rate: float,
+    base_duration: float = 60.0,
+    spike_duration: float = 20.0,
+    num_spikes: int = 2,
+) -> List[RatePhase]:
+    """A flash-crowd schedule: quiet baseline with ``num_spikes`` bursts.
+
+    The schedule is ``base, spike, base, spike, ..., base`` -- it always ends
+    on a baseline phase so the tail of the last burst drains inside the
+    schedule (the shape autoscaler scale-down needs to be observable).
+    """
+    if base_rate < 0 or spike_rate <= 0:
+        raise ValueError("rates must be >= 0 (spike_rate > 0)")
+    if num_spikes < 1:
+        raise ValueError("num_spikes must be >= 1")
+    phases: List[RatePhase] = []
+    for _ in range(num_spikes):
+        phases.append(RatePhase(rate=base_rate, duration=base_duration))
+        phases.append(RatePhase(rate=spike_rate, duration=spike_duration))
+    phases.append(RatePhase(rate=base_rate, duration=base_duration))
+    return phases

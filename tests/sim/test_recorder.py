@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.recorder import TimeSeriesRecorder
+from repro.sim.recorder import PrefixedRecorderView, TimeSeriesRecorder
 
 
 def test_record_and_query():
@@ -46,3 +46,57 @@ def test_resample_carries_last_value_forward():
 def test_resample_empty_series_is_zero():
     rec = TimeSeriesRecorder()
     assert np.allclose(rec.resample("s", "k", [0.0, 1.0]), [0.0, 0.0])
+
+
+class TestPrefixedRecorderView:
+    def test_writes_are_prefixed(self):
+        rec = TimeSeriesRecorder()
+        view = PrefixedRecorderView(rec, "r0/")
+        view.record("cache_usage", "a100:0", 1.0, 0.5)
+        view.record_many("heads", 2.0, {"a100:0": 40.0, "rtx3090:1": 8.0})
+        assert rec.keys("cache_usage") == ["r0/a100:0"]
+        assert set(rec.keys("heads")) == {"r0/a100:0", "r0/rtx3090:1"}
+
+    def test_prefix_must_be_namespace_like(self):
+        with pytest.raises(ValueError, match="must end with"):
+            PrefixedRecorderView(TimeSeriesRecorder(), "r0")
+
+    def test_non_write_methods_pass_through(self):
+        """Every recorder method beyond record/record_many must work on the
+        view (defensive __getattr__ forwarding, not a frozen method list)."""
+        rec = TimeSeriesRecorder()
+        view = PrefixedRecorderView(rec, "r1/")
+        view.record("s", "k", 1.0, 10.0)
+        view.record("s", "k", 5.0, 20.0)
+        assert view.series_names() == ["s"]
+        assert view.keys("s") == ["r1/k"]
+        assert view.raw("s", "r1/k") == [(1.0, 10.0), (5.0, 20.0)]
+        assert view.last_value("s", "r1/k") == 20.0
+        assert view.max_value("s", "r1/k") == 20.0
+        assert np.allclose(view.resample("s", "r1/k", [1.0, 5.0]), [10.0, 20.0])
+        assert view.samples is rec.samples
+        with pytest.raises(AttributeError):
+            view.not_a_recorder_method
+
+    def test_prefixed_and_unprefixed_keys_never_collide(self):
+        """A key written through a view can never equal a key written directly
+        (or through a different view): prefixes end with '/' and device keys
+        contain none."""
+        rec = TimeSeriesRecorder()
+        v0 = PrefixedRecorderView(rec, "r0/")
+        v1 = PrefixedRecorderView(rec, "r1/")
+        for key in ("a100:0", "r0"):  # even a key spelled like a prefix stem
+            rec.record("s", key, 0.0, 1.0)
+            v0.record("s", key, 0.0, 2.0)
+            v1.record("s", key, 0.0, 3.0)
+        keys = rec.keys("s")
+        assert len(keys) == 6, keys
+        assert rec.last_value("s", "a100:0") == 1.0
+        assert rec.last_value("s", "r0/a100:0") == 2.0
+        assert rec.last_value("s", "r1/a100:0") == 3.0
+
+    def test_views_nest(self):
+        rec = TimeSeriesRecorder()
+        inner = PrefixedRecorderView(PrefixedRecorderView(rec, "outer/"), "inner/")
+        inner.record("s", "k", 0.0, 1.0)
+        assert rec.keys("s") == ["outer/inner/k"]

@@ -24,6 +24,49 @@ def test_build_cluster_kinds():
         build_cluster("exascale")
 
 
+def test_build_cluster_inline_blueprints():
+    assert build_cluster("a100:2").num_devices == 2
+    mixed = build_cluster("a100:2,t4:4")
+    assert mixed.num_devices == 6
+    assert set(mixed.gpu_types) == {"a100", "t4"}
+    with pytest.raises(Exception):
+        build_cluster("warpdrive:2")
+
+
+def test_elasticity_listings():
+    assert set(repro.available_autoscalers()) == {"target-kv", "queue-depth"}
+    assert set(repro.available_admission_policies()) == {"kv-threshold", "queue-threshold"}
+    assert {"weighted-round-robin", "weighted-least-kv", "weighted-power-of-two"} <= set(
+        repro.available_routers()
+    )
+
+
+def test_quick_serve_single_entry_cluster_kinds_is_honoured():
+    """A one-element cluster_kinds list must build that blueprint, not the
+    default paper cluster."""
+    result = quick_serve(
+        model="llama-13b", system="static-tp", dataset="sharegpt",
+        request_rate=8.0, num_requests=4, cluster_kinds=["rtx3090:2"], seed=0,
+    )
+    paper = quick_serve(
+        model="llama-13b", system="static-tp", dataset="sharegpt",
+        request_rate=8.0, num_requests=4, seed=0,
+    )
+    assert result.available_cache_bytes < paper.available_cache_bytes
+
+
+def test_quick_serve_rejects_cluster_kinds_mismatch():
+    from repro.api import build_replicated_system
+
+    with pytest.raises(ValueError, match="cluster kinds"):
+        build_replicated_system("static-tp", "llama-13b", 3, cluster_kinds=["small"])
+    with pytest.raises(ValueError, match="not both"):
+        build_replicated_system(
+            "static-tp", "llama-13b", 1,
+            clusters=[build_cluster("small")], cluster_kinds=["small"],
+        )
+
+
 def test_default_hint_reflects_dataset():
     lb = default_hint("longbench", "llama-13b")
     sg = default_hint("sharegpt", "llama-13b")

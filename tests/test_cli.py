@@ -54,6 +54,77 @@ def test_compare_lists_all_systems_and_picks_winner():
     assert "lowest mean normalized latency" in text
 
 
+def test_serve_with_autoscaler_prints_timeline():
+    code, text = run_cli(
+        ["serve", "--system", "static-tp", "--model", "llama-13b", "--gpus", "a100:1",
+         "--rate", "12", "--requests", "10", "--replicas", "2",
+         "--autoscaler", "target-kv", "--autoscaler-interval", "1",
+         "--autoscaler-target", "0.3"]
+    )
+    assert code == 0
+    assert "2x static-tp" in text
+    assert "autoscaler [target-kv]" in text
+    assert "active replicas" in text
+
+
+def test_serve_with_admission_prints_goodput_block():
+    code, text = run_cli(
+        ["serve", "--system", "static-tp", "--model", "llama-13b", "--gpus", "rtx3090:2",
+         "--dataset", "longbench", "--rate", "20", "--requests", "12", "--replicas", "2",
+         "--admission", "queue-threshold", "--admission-threshold", "1",
+         "--admission-mode", "reject"]
+    )
+    assert code == 0
+    assert "admission [queue-threshold/reject]" in text
+    assert "rejected" in text
+    assert "goodput" in text
+    assert "SLO attainment" in text
+
+
+def test_serve_heterogeneous_replica_blueprints():
+    code, text = run_cli(
+        ["serve", "--system", "static-tp", "--model", "llama-13b",
+         "--replica-gpus", "a100:1", "--replica-gpus", "rtx3090:2",
+         "--router", "weighted-round-robin", "--rate", "10", "--requests", "8"]
+    )
+    assert code == 0
+    assert "2x static-tp [weighted-round-robin]" in text
+
+
+def test_fractional_queue_threshold_rejected_cleanly():
+    with pytest.raises(SystemExit, match="whole number"):
+        main(["serve", "--system", "static-tp", "--model", "llama-13b",
+              "--gpus", "a100:1", "--rate", "5", "--requests", "2", "--replicas", "2",
+              "--admission", "queue-threshold", "--admission-threshold", "0.9"],
+             out=io.StringIO())
+
+
+def test_out_of_range_kv_threshold_rejected_cleanly():
+    with pytest.raises(SystemExit, match="max_utilization"):
+        main(["serve", "--system", "static-tp", "--model", "llama-13b",
+              "--gpus", "a100:1", "--rate", "5", "--requests", "2", "--replicas", "2",
+              "--admission", "kv-threshold", "--admission-threshold", "1.5"],
+             out=io.StringIO())
+
+
+def test_out_of_range_autoscaler_target_rejected_cleanly():
+    with pytest.raises(SystemExit, match="target_utilization"):
+        main(["serve", "--system", "static-tp", "--model", "llama-13b",
+              "--gpus", "a100:1", "--rate", "5", "--requests", "2", "--replicas", "2",
+              "--autoscaler", "target-kv", "--autoscaler-target", "1.5"],
+             out=io.StringIO())
+
+
+def test_invalid_autoscaler_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--autoscaler", "magic"])
+
+
+def test_invalid_admission_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--admission", "coin-flip"])
+
+
 def test_invalid_system_rejected_by_parser():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["serve", "--system", "orca"])
