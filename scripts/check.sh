@@ -17,6 +17,16 @@ find . -type f -name '*.pyc' -delete
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Every checked-in sample config must still parse and build (no simulation):
+# a config that drifts from the spec schema fails fast, here and in CI.
+echo "== validating checked-in deployment configs (repro run --dry-run) =="
+shopt -s nullglob
+for cfg in examples/configs/*.json examples/configs/*.toml; do
+    python -m repro run "$cfg" --dry-run >/dev/null
+    echo "  $cfg OK"
+done
+shopt -u nullglob
+
 echo "== fast tier: pytest -m 'not slow' =="
 python -m pytest -m "not slow" -q
 

@@ -28,7 +28,10 @@ True
 
 from repro.version import __version__
 from repro.api import (
+    PreparedRun,
     quick_serve,
+    build,
+    run,
     build_cluster,
     build_system,
     build_replicated_system,
@@ -39,13 +42,39 @@ from repro.api import (
     available_autoscalers,
     available_admission_policies,
 )
+from repro.config import (
+    ClusterSpec,
+    ConfigError,
+    DeploymentSpec,
+    ElasticitySpec,
+    RouterSpec,
+    SystemSpec,
+    WorkloadSpec,
+)
+from repro.registry import Registry
+from repro.sim.metrics import SLOSpec
 
 __all__ = [
     "__version__",
+    # spec-first API
+    "DeploymentSpec",
+    "ClusterSpec",
+    "SystemSpec",
+    "RouterSpec",
+    "ElasticitySpec",
+    "WorkloadSpec",
+    "SLOSpec",
+    "ConfigError",
+    "Registry",
+    "build",
+    "run",
+    "PreparedRun",
+    # legacy keyword API
     "quick_serve",
     "build_cluster",
     "build_system",
     "build_replicated_system",
+    # listings
     "available_models",
     "available_systems",
     "available_datasets",

@@ -1,35 +1,60 @@
-"""High-level convenience API.
+"""High-level public API, built on declarative deployment specs.
 
-These helpers wire the common path together for examples, experiments, and
-downstream users: build a cluster, build a serving system for a model on that
-cluster, generate a workload trace, and run the simulation.
+The primary entry points take a :class:`~repro.config.DeploymentSpec` -- a
+serializable, parse-time-validated description of a deployment -- and turn it
+into running simulations:
+
+``build(spec) -> PreparedRun``
+    Construct the cluster(s), serving system, and workload trace described by
+    the spec, without simulating anything (the CLI's ``--dry-run``).
+
+``run(spec) -> SimulationResult``
+    ``build`` followed by a full discrete-event simulation.
+
+The historical keyword helpers -- :func:`quick_serve`,
+:func:`build_replicated_system`, :func:`build_system` -- are thin shims that
+assemble the equivalent spec and delegate to the same construction path, so
+both styles are behaviourally identical (the snapshot gates enforce this
+bit-for-bit).  Live, non-serializable objects (a prebuilt
+:class:`~repro.hardware.cluster.Cluster`, a router or policy instance, a
+``hint=``) travel through ``build``'s keyword overrides rather than the spec.
+
+System, router, autoscaler, admission, and dataset names all resolve through
+the plugin registries (:mod:`repro.registry`); registering a plugin makes it
+valid everywhere a name is accepted, including config files.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.baselines import build_hexgen_system, build_splitwise_system, build_static_tp_system
-from repro.core.cluster_system import ROUTER_FACTORIES, ClusterServingSystem, ReplicaRouter
+from repro.config import (
+    ClusterSpec,
+    DeploymentSpec,
+    ElasticitySpec,
+    RouterSpec,
+    SystemSpec,
+    WorkloadSpec,
+)
+from repro.core.cluster_system import ROUTERS, ClusterServingSystem, ReplicaRouter
 from repro.core.elasticity import (
-    ADMISSION_FACTORIES,
-    AUTOSCALER_FACTORIES,
+    ADMISSIONS,
+    AUTOSCALERS,
     AdmissionController,
     AutoscalerPolicy,
+    make_admission,
+    make_autoscaler,
 )
-from repro.core.parallelizer import WorkloadHint
-from repro.core.system import build_hetis_system
-from repro.hardware.cluster import Cluster, paper_cluster
+from repro.hardware.cluster import Cluster, cluster_from_blueprint, paper_cluster, simple_cluster
 from repro.models.spec import MODEL_CATALOG, get_model_spec
-from dataclasses import replace
-
 from repro.sim.engine import Engine, ServingSystem, SimulationResult
+from repro.sim.metrics import SLOSpec
 from repro.sim.scheduler import SchedulerLimits
+from repro.systems import SYSTEMS, default_hint
 from repro.workloads.arrivals import RatePhase
-from repro.workloads.datasets import DATASET_CATALOG, get_dataset_spec
+from repro.workloads.datasets import DATASETS
 from repro.workloads.trace import Trace, generate_trace
-
-SYSTEMS = ("hetis", "hexgen", "splitwise", "static-tp")
 
 
 def available_models() -> List[str]:
@@ -39,27 +64,27 @@ def available_models() -> List[str]:
 
 def available_systems() -> List[str]:
     """Serving systems that :func:`build_system` can construct."""
-    return list(SYSTEMS)
+    return SYSTEMS.available()
 
 
 def available_datasets() -> List[str]:
     """Dataset (workload) names available for trace generation."""
-    return sorted(DATASET_CATALOG)
+    return DATASETS.available()
 
 
 def available_routers() -> List[str]:
     """Replica routers :func:`build_replicated_system` can construct."""
-    return sorted(ROUTER_FACTORIES)
+    return ROUTERS.available()
 
 
 def available_autoscalers() -> List[str]:
     """Autoscaler policies :func:`build_replicated_system` can construct."""
-    return sorted(AUTOSCALER_FACTORIES)
+    return AUTOSCALERS.available()
 
 
 def available_admission_policies() -> List[str]:
     """Admission controllers :func:`build_replicated_system` can construct."""
-    return sorted(ADMISSION_FACTORIES)
+    return ADMISSIONS.available()
 
 
 def build_cluster(kind: str = "paper") -> Cluster:
@@ -71,33 +96,200 @@ def build_cluster(kind: str = "paper") -> Cluster:
     blueprint: comma-separated ``type:count`` hosts, e.g. ``"a100:4"`` (one
     4-GPU A100 host) or ``"a100:2,t4:4"`` (an A100 host plus a T4 host) --
     the per-replica blueprint syntax for heterogeneous replica mixes.
+    Malformed blueprints fail with an error naming the offending host entry.
     """
-    from repro.hardware.cluster import ClusterBuilder, simple_cluster
-
     if kind == "paper":
         return paper_cluster()
     if kind == "small":
         return simple_cluster("a100", "rtx3090", n_high=1, n_low=2)
     if ":" in kind:
-        builder = ClusterBuilder()
-        for host in kind.split(","):
-            name, _, count = host.strip().partition(":")
-            builder.add_host(name, count=int(count or "1"))
-        return builder.build()
+        return cluster_from_blueprint(kind)
     raise ValueError(
         f"unknown cluster kind {kind!r}; use 'paper', 'small', or a blueprint "
         "spec like 'a100:2,t4:4'"
     )
 
 
-def default_hint(dataset: str, model_name: str) -> WorkloadHint:
-    """A reasonable planning hint derived from a dataset's length statistics."""
-    spec = get_dataset_spec(dataset)
-    return WorkloadHint(
-        avg_prompt_tokens=int(spec.mean_prompt_tokens),
-        avg_context_tokens=int(spec.mean_prompt_tokens + spec.mean_output_tokens),
-        expected_concurrency=64,
+def _instantiate_system(
+    spec: SystemSpec,
+    cluster: Cluster,
+    model_name: str,
+    dataset: str,
+    limits: Optional[SchedulerLimits] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> ServingSystem:
+    """Build one serving system from a :class:`SystemSpec` on a live cluster.
+
+    ``limits`` (a live :class:`SchedulerLimits`) overrides ``spec.limits``;
+    ``extra`` keyword arguments override/extend ``spec.options`` -- both are
+    the channels the legacy keyword API uses for non-serializable values.
+    """
+    if limits is None:
+        limits = spec.scheduler_limits()
+    if spec.prefill_chunk_tokens is not None:
+        limits = replace(
+            limits or SchedulerLimits(), prefill_chunk_tokens=spec.prefill_chunk_tokens
+        )
+    model = get_model_spec(model_name)
+    kwargs: Dict[str, Any] = dict(spec.options)
+    if extra:
+        kwargs.update(extra)
+    return SYSTEMS.create(spec.name, cluster, model, dataset=dataset, limits=limits, **kwargs)
+
+
+@dataclass
+class PreparedRun:
+    """A fully constructed deployment plus its workload, ready to simulate.
+
+    ``build`` returns this so callers can inspect the system (``describe()``),
+    validate configs without simulating (the CLI's ``--dry-run``), or reuse
+    the construction for custom engines.  The trace is generated lazily on
+    first access -- callers that only want the system (the legacy build
+    shims) never pay for workload sampling -- and is a pure function of the
+    spec's workload, so laziness cannot perturb determinism.
+    """
+
+    spec: DeploymentSpec
+    system: ServingSystem
+    slo: Optional[SLOSpec] = None
+    max_simulated_time: float = 24 * 3600.0
+    _trace: Optional[Trace] = None
+
+    @property
+    def trace(self) -> Trace:
+        if self._trace is None:
+            wl = self.spec.workload
+            self._trace = generate_trace(
+                wl.dataset,
+                wl.request_rate,
+                wl.num_requests,
+                seed=wl.seed,
+                phases=wl.phases,
+            )
+        return self._trace
+
+    def describe(self) -> str:
+        return self.system.describe()
+
+    def run(self) -> SimulationResult:
+        """Simulate the prepared deployment against its trace."""
+        engine = Engine(
+            self.system, max_simulated_time=self.max_simulated_time, slo=self.slo
+        )
+        return engine.run(self.trace)
+
+
+def build(
+    spec: DeploymentSpec,
+    *,
+    cluster: Optional[Cluster] = None,
+    clusters: Optional[Sequence[Cluster]] = None,
+    router: Optional[ReplicaRouter] = None,
+    autoscaler: Optional[AutoscalerPolicy] = None,
+    admission: Optional[AdmissionController] = None,
+    limits: Optional[SchedulerLimits] = None,
+    system_kwargs: Optional[Mapping[str, Any]] = None,
+    replicate: Optional[bool] = None,
+) -> PreparedRun:
+    """Materialise a :class:`DeploymentSpec` into a ready-to-run deployment.
+
+    The keyword-only parameters inject live objects that cannot travel in a
+    serializable spec: prebuilt cluster pools, router/policy instances, a
+    :class:`SchedulerLimits`, or extra system-builder arguments (e.g. a
+    Parallelizer ``hint=``).  They take precedence over the corresponding
+    spec fields and exist mainly for the legacy keyword shims; config-driven
+    callers never need them.  ``replicate=True`` forces a
+    :class:`ClusterServingSystem` wrapper even for a single fixed replica
+    (``build_replicated_system``'s contract); the default ``None`` wraps
+    exactly when the spec calls for it.
+    """
+    if not isinstance(spec, DeploymentSpec):
+        raise TypeError(f"build() takes a DeploymentSpec, got {type(spec).__name__}")
+    cs = spec.cluster
+    if autoscaler is None and spec.elasticity is not None:
+        autoscaler = spec.elasticity.build_autoscaler()
+    if admission is None and spec.elasticity is not None:
+        admission = spec.elasticity.build_admission()
+
+    num_replicas = cs.replicas
+    if clusters is not None:
+        if len(clusters) != num_replicas:
+            raise ValueError(f"expected {num_replicas} clusters, got {len(clusters)}")
+        if cs.replica_kinds is not None:
+            raise ValueError("pass clusters or cluster.replica_kinds, not both")
+    replicated = replicate if replicate is not None else (
+        num_replicas > 1
+        or cs.replica_kinds is not None
+        or clusters is not None
+        or autoscaler is not None
+        or admission is not None
     )
+
+    dataset = spec.workload.dataset
+    if not replicated:
+        pool = cluster if cluster is not None else build_cluster(cs.kind)
+        serving: ServingSystem = _instantiate_system(
+            spec.system, pool, spec.model, dataset, limits=limits, extra=system_kwargs
+        )
+    else:
+        if clusters is None and cluster is not None:
+            # A single-replica elastic run may bring its own cluster: only one
+            # replica ever touches it, so there is no sharing hazard.
+            if num_replicas > 1:
+                raise ValueError(
+                    "pass cluster_kind (not a shared cluster) when num_replicas > 1"
+                )
+            clusters = [cluster]
+        replicas = []
+        for idx in range(num_replicas):
+            if clusters is not None:
+                pool = clusters[idx]
+            elif cs.replica_kinds is not None:
+                pool = build_cluster(cs.replica_kinds[idx])
+            else:
+                pool = build_cluster(cs.kind)
+            replicas.append(
+                _instantiate_system(
+                    spec.system, pool, spec.model, dataset, limits=limits, extra=system_kwargs
+                )
+            )
+        serving = ClusterServingSystem(
+            replicas,
+            router=router if router is not None else spec.router.build(spec.workload.seed),
+            seed=spec.workload.seed,
+            autoscaler=autoscaler,
+            admission=admission,
+        )
+
+    return PreparedRun(
+        spec=spec,
+        system=serving,
+        slo=spec.slo,
+        max_simulated_time=spec.max_simulated_time,
+    )
+
+
+def run(spec: DeploymentSpec, **build_overrides) -> SimulationResult:
+    """Build and simulate a :class:`DeploymentSpec` end to end."""
+    return build(spec, **build_overrides).run()
+
+
+def run_system(
+    system: ServingSystem,
+    trace: Trace,
+    max_simulated_time: float = 24 * 3600.0,
+    slo: Optional[SLOSpec] = None,
+) -> SimulationResult:
+    """Run a prepared system against a prepared trace."""
+    engine = Engine(system, max_simulated_time=max_simulated_time, slo=slo)
+    return engine.run(trace)
+
+
+# ------------------------------------------------------------------ legacy shims
+#
+# The pre-spec keyword API.  Each helper assembles the equivalent spec (plus
+# live-object overrides) and delegates to the shared construction path above,
+# so keyword and config-driven deployments can never drift apart.
 
 
 def build_system(
@@ -115,37 +307,24 @@ def build_system(
     (see :class:`~repro.sim.scheduler.SchedulerLimits`); the default ``None``
     keeps the legacy monolithic-prefill execution model bit-for-bit.
     """
-    if prefill_chunk_tokens is not None:
-        limits = replace(
-            limits or SchedulerLimits(), prefill_chunk_tokens=prefill_chunk_tokens
-        )
-    model = get_model_spec(model_name)
-    system = system.lower()
-    if system == "hetis":
-        hint = kwargs.pop("hint", default_hint(dataset, model_name))
-        return build_hetis_system(cluster, model, hint=hint, limits=limits, **kwargs)
-    if system == "hexgen":
-        return build_hexgen_system(cluster, model, limits=limits, **kwargs)
-    if system == "splitwise":
-        return build_splitwise_system(cluster, model, limits=limits, **kwargs)
-    if system in ("static-tp", "static_tp", "static"):
-        return build_static_tp_system(cluster, model, limits=limits, **kwargs)
-    raise ValueError(f"unknown system {system!r}; available: {SYSTEMS}")
+    spec = SystemSpec(name=system, prefill_chunk_tokens=prefill_chunk_tokens)
+    return _instantiate_system(spec, cluster, model_name, dataset, limits=limits, extra=kwargs)
 
 
 def build_replicated_system(
     system: str,
     model_name: str,
     num_replicas: int,
-    router: str | ReplicaRouter = "round-robin",
+    router: "str | ReplicaRouter" = "round-robin",
     cluster_kind: str = "paper",
     clusters: Optional[Sequence[Cluster]] = None,
     cluster_kinds: Optional[Sequence[str]] = None,
     dataset: str = "sharegpt",
     limits: Optional[SchedulerLimits] = None,
     seed: int = 0,
-    autoscaler: str | AutoscalerPolicy | None = None,
-    admission: str | AdmissionController | None = None,
+    autoscaler: "str | AutoscalerPolicy | None" = None,
+    admission: "str | AdmissionController | None" = None,
+    prefill_chunk_tokens: Optional[int] = None,
     **kwargs,
 ) -> ClusterServingSystem:
     """Build ``num_replicas`` copies of a serving system behind a router.
@@ -169,30 +348,37 @@ def build_replicated_system(
         raise ValueError(f"expected {num_replicas} clusters, got {len(clusters)}")
     if cluster_kinds is not None and len(cluster_kinds) != num_replicas:
         raise ValueError(f"expected {num_replicas} cluster kinds, got {len(cluster_kinds)}")
-    replicas = []
-    for idx in range(num_replicas):
-        if clusters is not None:
-            cluster = clusters[idx]
-        elif cluster_kinds is not None:
-            cluster = build_cluster(cluster_kinds[idx])
-        else:
-            cluster = build_cluster(cluster_kind)
-        replicas.append(
-            build_system(system, cluster, model_name, dataset=dataset, limits=limits, **kwargs)
-        )
-    return ClusterServingSystem(
-        replicas, router=router, seed=seed, autoscaler=autoscaler, admission=admission
+    spec = DeploymentSpec(
+        model=model_name,
+        system=SystemSpec(name=system, prefill_chunk_tokens=prefill_chunk_tokens),
+        cluster=ClusterSpec(
+            # With prebuilt clusters the kind is never used to build anything;
+            # default it so an unrelated caller-side kind cannot fail validation.
+            kind=cluster_kind if clusters is None else "paper",
+            replicas=num_replicas,
+            replica_kinds=tuple(cluster_kinds) if cluster_kinds is not None else None,
+        ),
+        router=RouterSpec() if isinstance(router, ReplicaRouter) else RouterSpec(name=router),
+        workload=WorkloadSpec(dataset=dataset, seed=seed),
     )
-
-
-def run_system(
-    system: ServingSystem,
-    trace: Trace,
-    max_simulated_time: float = 24 * 3600.0,
-) -> SimulationResult:
-    """Run a prepared system against a prepared trace."""
-    engine = Engine(system, max_simulated_time=max_simulated_time)
-    return engine.run(trace)
+    # Instances (router/policies) and prebuilt clusters are live objects: they
+    # bypass the spec and go through build()'s override channel; string policy
+    # names resolve here so the two shapes share one code path.
+    prepared = build(
+        spec,
+        clusters=clusters,
+        router=router if isinstance(router, ReplicaRouter) else None,
+        autoscaler=make_autoscaler(autoscaler),
+        admission=make_admission(admission),
+        limits=limits,
+        system_kwargs=kwargs or None,
+        # This helper's contract is a ClusterServingSystem even for one fixed
+        # replica; without forcing, a 1-replica non-elastic spec would build
+        # the bare system.
+        replicate=True,
+    )
+    assert isinstance(prepared.system, ClusterServingSystem)
+    return prepared.system
 
 
 def quick_serve(
@@ -206,10 +392,13 @@ def quick_serve(
     seed: int = 0,
     phases: Optional[Sequence[RatePhase]] = None,
     num_replicas: int = 1,
-    router: str | ReplicaRouter = "round-robin",
+    router: "str | ReplicaRouter" = "round-robin",
     cluster_kinds: Optional[Sequence[str]] = None,
-    autoscaler: str | AutoscalerPolicy | None = None,
-    admission: str | AdmissionController | None = None,
+    autoscaler: "str | AutoscalerPolicy | None" = None,
+    admission: "str | AdmissionController | None" = None,
+    slo: Optional[SLOSpec] = None,
+    prefill_chunk_tokens: Optional[int] = None,
+    limits: Optional[SchedulerLimits] = None,
     **system_kwargs,
 ) -> SimulationResult:
     """One-call end-to-end simulation: build cluster + system + trace, then run.
@@ -218,42 +407,56 @@ def quick_serve(
     independent copies of the deployment behind the chosen replica ``router``
     -- each on its own ``cluster_kind`` pool, or on per-replica blueprints
     when ``cluster_kinds`` is given (heterogeneous mixes).  ``autoscaler`` and
-    ``admission`` opt the cluster into elastic serving (replica activation /
-    draining and load-aware admission control); see
-    :func:`build_replicated_system`.
+    ``admission`` opt the cluster into elastic serving; ``slo`` sets the
+    TTFT/TPOT objectives the SLO-attainment/goodput metrics are scored
+    against (default: the loose interactive-chat bounds).
 
-    Returns the :class:`~repro.sim.engine.SimulationResult`, whose ``summary``
-    carries normalized latency, TTFT/TPOT percentiles, throughput, and the
+    Equivalent to ``run(DeploymentSpec(...))`` -- this helper just assembles
+    the spec from keywords.  Returns the
+    :class:`~repro.sim.engine.SimulationResult`, whose ``summary`` carries
+    normalized latency, TTFT/TPOT percentiles, throughput, and the
     SLO-attainment/goodput block.
     """
     if cluster_kinds is not None and num_replicas == 1:
         num_replicas = len(cluster_kinds)
-    if (
-        num_replicas > 1
-        or cluster_kinds is not None
-        or autoscaler is not None
-        or admission is not None
-    ):
-        if cluster is not None and num_replicas > 1:
-            raise ValueError("pass cluster_kind (not a shared cluster) when num_replicas > 1")
-        serving: ServingSystem = build_replicated_system(
-            system,
-            model,
-            num_replicas,
-            router=router,
-            cluster_kind=cluster_kind,
-            cluster_kinds=cluster_kinds,
-            # A single-replica elastic run may bring its own cluster: only one
-            # replica ever touches it, so there is no sharing hazard.
-            clusters=[cluster] if cluster is not None else None,
-            dataset=dataset,
-            seed=seed,
-            autoscaler=autoscaler,
-            admission=admission,
-            **system_kwargs,
+    if cluster is not None and num_replicas > 1:
+        raise ValueError("pass cluster_kind (not a shared cluster) when num_replicas > 1")
+    if cluster_kinds is not None and len(cluster_kinds) != num_replicas:
+        raise ValueError(f"expected {num_replicas} cluster kinds, got {len(cluster_kinds)}")
+    elasticity = None
+    if isinstance(autoscaler, str) or isinstance(admission, str):
+        elasticity = ElasticitySpec(
+            autoscaler=autoscaler if isinstance(autoscaler, str) else None,
+            admission=admission if isinstance(admission, str) else None,
         )
-    else:
-        cluster = cluster or build_cluster(cluster_kind)
-        serving = build_system(system, cluster, model, dataset=dataset, **system_kwargs)
-    trace = generate_trace(dataset, request_rate, num_requests, seed=seed, phases=phases)
-    return run_system(serving, trace)
+    spec = DeploymentSpec(
+        model=model,
+        system=SystemSpec(name=system, prefill_chunk_tokens=prefill_chunk_tokens),
+        cluster=ClusterSpec(
+            kind=cluster_kind,
+            replicas=num_replicas,
+            replica_kinds=tuple(cluster_kinds) if cluster_kinds is not None else None,
+        ),
+        router=RouterSpec() if isinstance(router, ReplicaRouter) else RouterSpec(name=router),
+        elasticity=elasticity,
+        slo=slo,
+        workload=WorkloadSpec(
+            dataset=dataset,
+            request_rate=request_rate,
+            num_requests=num_requests,
+            seed=seed,
+            phases=tuple(phases) if phases is not None else None,
+        ),
+    )
+    # Policy instances stay live objects; an elasticity *instance* forces the
+    # replicated path even though the spec alone would not (matching the
+    # pre-spec behaviour of quick_serve).
+    return run(
+        spec,
+        cluster=cluster,
+        router=router if isinstance(router, ReplicaRouter) else None,
+        autoscaler=autoscaler if isinstance(autoscaler, AutoscalerPolicy) else None,
+        admission=admission if isinstance(admission, AdmissionController) else None,
+        limits=limits,
+        system_kwargs=system_kwargs or None,
+    )

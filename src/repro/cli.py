@@ -1,6 +1,6 @@
 """Command-line interface for the Hetis reproduction.
 
-Three subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``plan``
     Run the Parallelizer on a described cluster and print the resulting
@@ -14,36 +14,62 @@ Three subcommands cover the common workflows:
     Run the same workload through several systems and print a comparison
     table (the quickest way to reproduce one point of Figs. 8-10).
 
+``run``
+    Run a deployment described by a JSON/TOML config file
+    (:class:`~repro.config.DeploymentSpec`); ``--dry-run`` builds and
+    validates without simulating, ``--set key=value`` overrides spec fields.
+
+``sweep``
+    Expand a config over ``--grid key=v1,v2,...`` axes (Cartesian product),
+    run every deployment, and print/write a CSV or JSON results table -- the
+    substrate for parameter studies like the Fig.-14 elasticity experiment.
+
 Examples
 --------
     python -m repro plan --model llama-70b --gpus a100:4 rtx3090:2 rtx3090:2 p100:4
     python -m repro serve --system hetis --model llama-13b --dataset sharegpt --rate 8 --requests 60
+    python -m repro serve --system hetis --rate 8 --requests 60 --slo-ttft 2 --slo-tpot 0.2
     python -m repro compare --model opt-30b --dataset humaneval --rate 20 --requests 48
     python -m repro serve --system static-tp --replicas 4 --router least-kv \
         --autoscaler target-kv --admission kv-threshold --admission-mode defer
     python -m repro serve --replica-gpus a100:2 --replica-gpus t4:4 --router weighted-round-robin
+    python -m repro run examples/configs/elastic_cluster.toml
+    python -m repro run deployment.json --dry-run
+    python -m repro sweep deployment.json --grid workload.request_rate=2,4,8 \
+        --grid router.name=round-robin,least-kv --out sweep.csv
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api import (
     available_admission_policies,
     available_autoscalers,
     available_routers,
+    build,
     build_cluster,
     build_replicated_system,
     build_system,
     run_system,
 )
+from repro.config import (
+    ConfigError,
+    DeploymentSpec,
+    expand_grid,
+    parse_grid_axis,
+    parse_grid_value,
+)
 from repro.core.elasticity import make_admission, make_autoscaler
 from repro.core.parallelizer import Parallelizer, WorkloadHint
-from repro.hardware.cluster import Cluster, ClusterBuilder
+from repro.hardware.cluster import Cluster, ClusterBuilder, parse_blueprint
 from repro.models.spec import get_model_spec
 from repro.sim.engine import SimulationResult
+from repro.sim.metrics import SLOSpec
 from repro.workloads.trace import generate_trace
 
 
@@ -52,10 +78,13 @@ def _cluster_from_args(gpu_hosts: Optional[Sequence[str]]) -> Cluster:
     if not gpu_hosts:
         return build_cluster("paper")
     builder = ClusterBuilder()
-    for host in gpu_hosts:
-        name, _, count = host.partition(":")
-        builder.add_host(name, count=int(count or "1"))
-    return builder.build()
+    try:
+        for host in gpu_hosts:
+            for name, count in parse_blueprint(host):
+                builder.add_host(name, count=count)
+        return builder.build()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def _positive_int(value: str) -> int:
@@ -123,6 +152,15 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
         "--admission-mode", default="reject", choices=["reject", "defer"],
         help="what to do with arrivals while every active replica is overloaded",
     )
+    slo = parser.add_argument_group("latency SLOs (attainment / goodput scoring)")
+    slo.add_argument(
+        "--slo-ttft", type=float, default=None, metavar="SECONDS",
+        help="TTFT objective in seconds (default: the loose interactive-chat bound)",
+    )
+    slo.add_argument(
+        "--slo-tpot", type=float, default=None, metavar="SECONDS",
+        help="TPOT objective in seconds per output token",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +183,43 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="run the same workload through several systems")
     compare.add_argument("--systems", nargs="+", default=["splitwise", "hexgen", "hetis"])
     _add_common_workload_args(compare)
+
+    run_p = sub.add_parser(
+        "run", help="run a deployment described by a JSON/TOML config file"
+    )
+    run_p.add_argument("config", help="path to a DeploymentSpec config (.json or .toml)")
+    run_p.add_argument(
+        "--dry-run", action="store_true",
+        help="build and validate the deployment without simulating it",
+    )
+    run_p.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE", dest="overrides",
+        help="override a spec field by dotted path (e.g. --set workload.seed=3); "
+             "repeatable",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="expand a config over --grid axes and tabulate the results"
+    )
+    sweep.add_argument("config", help="path to the base DeploymentSpec config")
+    sweep.add_argument(
+        "--grid", action="append", default=None, metavar="KEY=V1,V2,...",
+        help="one sweep axis as dotted-path=comma-separated values "
+             "(e.g. --grid workload.request_rate=2,4,8); repeatable, axes combine "
+             "as a Cartesian product",
+    )
+    sweep.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE", dest="overrides",
+        help="fixed override applied to every point before the grid expands",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the results table to PATH (.csv or .json)",
+    )
+    sweep.add_argument(
+        "--format", default=None, choices=["csv", "json"],
+        help="format for --out (default: inferred from the extension)",
+    )
     return parser
 
 
@@ -223,6 +298,24 @@ def _elasticity_from_args(args: argparse.Namespace):
     return autoscaler, admission
 
 
+def _slo_from_args(args: argparse.Namespace) -> Optional[SLOSpec]:
+    """Build the SLOSpec a subcommand asked for (``None`` = loose defaults)."""
+    ttft = getattr(args, "slo_ttft", None)
+    tpot = getattr(args, "slo_tpot", None)
+    if ttft is None and tpot is None:
+        return None
+    if ttft is not None and ttft <= 0:
+        raise SystemExit(f"error: --slo-ttft must be > 0, got {ttft}")
+    if tpot is not None and tpot <= 0:
+        raise SystemExit(f"error: --slo-tpot must be > 0, got {tpot}")
+    kwargs = {}
+    if ttft is not None:
+        kwargs["ttft_s"] = ttft
+    if tpot is not None:
+        kwargs["tpot_s"] = tpot
+    return SLOSpec(**kwargs)
+
+
 def _build_serving(name: str, args: argparse.Namespace):
     """Build the (possibly replicated, possibly elastic) system a subcommand asked for."""
     replicas = getattr(args, "replicas", 1)
@@ -231,7 +324,10 @@ def _build_serving(name: str, args: argparse.Namespace):
     autoscaler, admission = _elasticity_from_args(args)
     if replica_specs:
         # Heterogeneous mix: one blueprint spec per replica.
-        clusters = [build_cluster(spec) for spec in replica_specs]
+        try:
+            clusters = [build_cluster(spec) for spec in replica_specs]
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
     elif replicas > 1 or autoscaler is not None or admission is not None:
         clusters = [_cluster_from_args(args.gpus) for _ in range(replicas)]
     else:
@@ -258,14 +354,21 @@ def _build_serving(name: str, args: argparse.Namespace):
 
 def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
     system = _build_serving(args.system, args)
+    slo = _slo_from_args(args)
     trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
-    result = run_system(system, trace)
+    result = run_system(system, trace, slo=slo)
     num_replicas = len(getattr(system, "replicas", [None]))
     label = args.system if num_replicas == 1 else f"{num_replicas}x {args.system} [{args.router}]"
     print(f"{label} serving {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
     print(_HEADER, file=out)
     print(_format_summary(args.system, result), file=out)
     s = result.summary
+    if slo is not None:
+        print(
+            f"slo [TTFT<={slo.ttft_s:g}s, TPOT<={slo.tpot_s:g}s]: "
+            f"attainment {s.slo_attainment:.1%}, goodput {s.goodput_rps:.2f} req/s",
+            file=out,
+        )
     if args.admission:
         print(
             f"admission [{args.admission}/{args.admission_mode}]: "
@@ -288,16 +391,153 @@ def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
 
 def cmd_compare(args: argparse.Namespace, out=sys.stdout) -> int:
     print(f"comparing {args.systems} on {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
-    print(_HEADER, file=out)
+    slo = _slo_from_args(args)
+    print(_HEADER + (f"{'slo att':>8}" if slo is not None else ""), file=out)
     best_name, best_latency = None, float("inf")
     for name in args.systems:
         system = _build_serving(name, args)
         trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
-        result = run_system(system, trace)
-        print(_format_summary(name, result), file=out)
+        result = run_system(system, trace, slo=slo)
+        line = _format_summary(name, result)
+        if slo is not None:
+            line += f"{result.summary.slo_attainment:>8.1%}"
+        print(line, file=out)
         if result.summary.mean_normalized_latency < best_latency:
             best_name, best_latency = name, result.summary.mean_normalized_latency
     print(f"lowest mean normalized latency: {best_name}", file=out)
+    return 0
+
+
+def _load_spec(args: argparse.Namespace) -> DeploymentSpec:
+    """Load the config file and apply any ``--set`` overrides; clean exits."""
+    try:
+        spec = DeploymentSpec.load(args.config)
+        overrides = getattr(args, "overrides", None)
+        if overrides:
+            parsed: Dict[str, Any] = {}
+            for item in overrides:
+                key, sep, value = item.partition("=")
+                if not sep or not key.strip():
+                    raise ConfigError(f"--set {item!r} must look like key.path=value")
+                parsed[key.strip()] = parse_grid_value(value.strip())
+            spec = spec.with_overrides(parsed)
+        return spec
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _print_result(spec: DeploymentSpec, result: SimulationResult, out) -> None:
+    """Summary block shared by ``run`` and the sweep's verbose path."""
+    print(_HEADER, file=out)
+    print(_format_summary(spec.system.name, result), file=out)
+    s = result.summary
+    if spec.slo is not None:
+        print(
+            f"slo [TTFT<={spec.slo.ttft_s:g}s, TPOT<={spec.slo.tpot_s:g}s]: "
+            f"attainment {s.slo_attainment:.1%}, goodput {s.goodput_rps:.2f} req/s",
+            file=out,
+        )
+    if spec.elasticity is not None and spec.elasticity.admission:
+        print(
+            f"admission [{spec.elasticity.admission}]: {s.num_rejected} rejected "
+            f"({s.rejection_rate:.1%}), {s.num_deferrals} deferrals",
+            file=out,
+        )
+    if result.num_dropped:
+        print(
+            f"warning: {result.num_dropped} request(s) dropped (did not fit in cluster memory)",
+            file=out,
+        )
+
+
+def cmd_run(args: argparse.Namespace, out=sys.stdout) -> int:
+    spec = _load_spec(args)
+    try:
+        prepared = build(spec)
+    # TypeError covers free-form spec.system.options that the builder rejects.
+    except (ValueError, TypeError, MemoryError) as exc:
+        raise SystemExit(f"error: building {args.config}: {exc}") from None
+    if args.dry_run:
+        print(f"config OK: {spec.describe()}", file=out)
+        print(f"system: {prepared.describe()}", file=out)
+        print(f"trace: {len(prepared.trace)} requests over {prepared.trace.duration:.1f}s", file=out)
+        return 0
+    print(spec.describe(), file=out)
+    result = prepared.run()
+    _print_result(spec, result, out)
+    return 0
+
+
+#: Metric columns of the sweep results table, in print order.
+_SWEEP_METRICS = (
+    "mean_normalized_latency",
+    "p95_normalized_latency",
+    "p95_ttft",
+    "p95_tpot",
+    "throughput_rps",
+    "throughput_tokens_per_s",
+    "slo_attainment",
+    "goodput_rps",
+    "num_finished",
+    "num_rejected",
+)
+
+
+def _sweep_row(overrides: Dict[str, Any], result: SimulationResult) -> Dict[str, Any]:
+    s = result.summary
+    row = dict(overrides)
+    for name in _SWEEP_METRICS:
+        row[name] = getattr(s, name)
+    row["num_dropped"] = result.num_dropped
+    return row
+
+
+def _write_sweep_output(rows: List[Dict[str, Any]], path: str, fmt: Optional[str]) -> None:
+    if fmt is None:
+        fmt = "json" if path.lower().endswith(".json") else "csv"
+    if fmt == "json":
+        with open(path, "w") as fh:
+            json.dump(rows, fh, indent=2)
+            fh.write("\n")
+    else:
+        fieldnames = list(rows[0]) if rows else []
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(rows)
+
+
+def cmd_sweep(args: argparse.Namespace, out=sys.stdout) -> int:
+    spec = _load_spec(args)
+    try:
+        axes = dict(parse_grid_axis(axis) for axis in (args.grid or []))
+        combos = expand_grid(spec, axes)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    axis_names = list(axes)
+    print(
+        f"sweep over {len(combos)} deployment(s) "
+        f"({', '.join(axis_names) if axis_names else 'no grid axes'})",
+        file=out,
+    )
+    rows: List[Dict[str, Any]] = []
+    for overrides, point in combos:
+        label = ", ".join(f"{k}={v}" for k, v in overrides.items()) or "(base)"
+        try:
+            result = build(point).run()
+        except (ValueError, TypeError, MemoryError) as exc:
+            raise SystemExit(f"error: sweep point {label}: {exc}") from None
+        rows.append(_sweep_row(overrides, result))
+        s = result.summary
+        print(
+            f"  {label}: mean {s.mean_normalized_latency:.4f} s/tok, "
+            f"p95 TTFT {s.p95_ttft:.3f}s, {s.throughput_tokens_per_s:.1f} tok/s, "
+            f"goodput {s.goodput_rps:.2f} req/s",
+            file=out,
+        )
+    if args.out:
+        _write_sweep_output(rows, args.out, args.format)
+        print(f"wrote {len(rows)} row(s) to {args.out}", file=out)
     return 0
 
 
@@ -310,6 +550,10 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return cmd_serve(args, out)
     if args.command == "compare":
         return cmd_compare(args, out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "sweep":
+        return cmd_sweep(args, out)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
 
 

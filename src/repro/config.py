@@ -1,0 +1,756 @@
+"""Declarative, serializable deployment specs.
+
+This module is the single description language for everything the simulator
+can run.  A :class:`DeploymentSpec` captures a complete deployment -- model,
+serving system, cluster shape (including replicated and heterogeneous
+fleets), replica router, elasticity policies, latency SLOs, and the workload
+-- as a tree of frozen dataclasses that
+
+* validate at *parse time* with actionable, field-pointing errors (rather
+  than deep inside the builders),
+* round-trip losslessly through plain dicts (``to_dict`` / ``from_dict``) and
+  therefore through JSON and TOML files (:meth:`DeploymentSpec.load` /
+  :meth:`DeploymentSpec.save`), and
+* support dotted-path overrides (:meth:`DeploymentSpec.with_overrides`),
+  which is what the CLI sweep runner expands grids with.
+
+Every name-valued field (system, router, dataset, autoscaler, admission
+policy) is checked against the corresponding plugin registry, so a registered
+third-party plugin is automatically a valid spec value.
+
+Example
+-------
+>>> from repro.config import DeploymentSpec, WorkloadSpec, ClusterSpec
+>>> spec = DeploymentSpec(
+...     model="llama-13b",
+...     cluster=ClusterSpec(kind="small", replicas=2),
+...     workload=WorkloadSpec(dataset="sharegpt", request_rate=8.0, num_requests=32),
+... )
+>>> DeploymentSpec.from_dict(spec.to_dict()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.cluster_system import ROUTERS
+from repro.core.elasticity import (
+    ADMISSIONS,
+    AUTOSCALERS,
+    AdmissionController,
+    AutoscalerPolicy,
+)
+from repro.hardware.cluster import parse_blueprint
+from repro.models.spec import MODEL_CATALOG
+from repro.sim.metrics import SLOSpec
+from repro.sim.scheduler import SchedulerLimits
+from repro.systems import SYSTEMS
+from repro.workloads.arrivals import RatePhase
+from repro.workloads.datasets import DATASETS
+
+#: Named cluster topologies understood by :func:`repro.api.build_cluster`;
+#: anything else must parse as an inline ``type:count,...`` blueprint.
+NAMED_CLUSTERS = ("paper", "small")
+
+
+class ConfigError(ValueError):
+    """A deployment spec failed validation; the message names the field."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _check_name(registry, name: str, where: str) -> str:
+    """Resolve ``name`` in ``registry``, re-pointing the error at ``where``."""
+    try:
+        return registry.resolve(name)
+    except ValueError as exc:
+        raise ConfigError(f"{where}: {exc}") from None
+
+
+def _check_mapping(value, where: str) -> Dict[str, Any]:
+    _check(
+        value is None or isinstance(value, Mapping),
+        f"{where} must be a mapping of keyword arguments, got {type(value).__name__}",
+    )
+    return dict(value) if value else {}
+
+
+def _known_keys(cls) -> List[str]:
+    return [f.name for f in fields(cls)]
+
+
+def _reject_unknown_keys(cls, data: Mapping, where: str) -> None:
+    unknown = sorted(set(data) - set(_known_keys(cls)))
+    if unknown:
+        raise ConfigError(
+            f"unknown key(s) {', '.join(repr(k) for k in unknown)} in {where}; "
+            f"expected: {', '.join(_known_keys(cls))}"
+        )
+
+
+def _validate_cluster_kind(kind: str, where: str) -> None:
+    _check(isinstance(kind, str) and bool(kind), f"{where} must be a non-empty string")
+    if kind in NAMED_CLUSTERS:
+        return
+    if ":" in kind:
+        try:
+            parse_blueprint(kind)
+        except ValueError as exc:
+            raise ConfigError(f"{where}: {exc}") from None
+        return
+    raise ConfigError(
+        f"{where}: unknown cluster kind {kind!r}; use "
+        f"{', '.join(repr(n) for n in NAMED_CLUSTERS)}, or an inline blueprint "
+        "like 'a100:2,t4:4'"
+    )
+
+
+# ------------------------------------------------------------------ leaf specs
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware shape of the deployment.
+
+    ``kind`` is a named topology (``"paper"``, ``"small"``) or an inline
+    ``type:count,...`` blueprint; ``replicas`` scales the deployment
+    data-parallel (each replica on its own pool); ``replica_kinds`` gives one
+    blueprint per replica for heterogeneous fleets (and implies the replica
+    count when ``replicas`` is left at 1).
+    """
+
+    kind: str = "paper"
+    replicas: int = 1
+    replica_kinds: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        _check(
+            isinstance(self.replicas, int) and not isinstance(self.replicas, bool)
+            and self.replicas >= 1,
+            f"cluster.replicas must be an integer >= 1, got {self.replicas!r}",
+        )
+        _validate_cluster_kind(self.kind, "cluster.kind")
+        if self.replica_kinds is not None:
+            kinds = tuple(self.replica_kinds)
+            _check(len(kinds) > 0, "cluster.replica_kinds must not be empty")
+            for idx, kind in enumerate(kinds):
+                _validate_cluster_kind(kind, f"cluster.replica_kinds[{idx}]")
+            object.__setattr__(self, "replica_kinds", kinds)
+            if self.replicas == 1:
+                object.__setattr__(self, "replicas", len(kinds))
+            _check(
+                self.replicas == len(kinds),
+                f"cluster.replica_kinds has {len(kinds)} entries but "
+                f"cluster.replicas is {self.replicas}",
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "replicas": self.replicas,
+            "replica_kinds": list(self.replica_kinds) if self.replica_kinds else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ClusterSpec":
+        _reject_unknown_keys(cls, data, "cluster spec")
+        kinds = data.get("replica_kinds")
+        return cls(
+            kind=data.get("kind", "paper"),
+            replicas=data.get("replicas", 1),
+            # `is not None` (not truthiness): an explicit [] must reach the
+            # must-not-be-empty validation, not silently mean "unset".
+            replica_kinds=tuple(kinds) if kinds is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Which serving system to build, and its scheduler knobs.
+
+    ``limits`` overrides individual :class:`~repro.sim.scheduler.SchedulerLimits`
+    fields; ``prefill_chunk_tokens`` opts into chunked prefill (``None`` keeps
+    the legacy monolithic-prefill path bit-for-bit); ``options`` is forwarded
+    to the system builder as extra keyword arguments (serializable ones only
+    -- live objects travel through the legacy keyword API instead).
+    """
+
+    name: str = "hetis"
+    prefill_chunk_tokens: Optional[int] = None
+    limits: Optional[Mapping[str, Any]] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.name, str) and bool(self.name), "system.name must be a non-empty string")
+        object.__setattr__(
+            self, "name", _check_name(SYSTEMS, self.name.lower(), "system.name")
+        )
+        if self.prefill_chunk_tokens is not None:
+            _check(
+                isinstance(self.prefill_chunk_tokens, int) and self.prefill_chunk_tokens > 0,
+                "system.prefill_chunk_tokens must be a positive integer or null, "
+                f"got {self.prefill_chunk_tokens!r}",
+            )
+        limits = self.limits
+        if limits is not None:
+            limits = _check_mapping(limits, "system.limits")
+            known = {f.name for f in fields(SchedulerLimits)}
+            unknown = sorted(set(limits) - known)
+            _check(
+                not unknown,
+                f"system.limits has unknown field(s) {', '.join(map(repr, unknown))}; "
+                f"SchedulerLimits fields are: {', '.join(sorted(known))}",
+            )
+            try:
+                SchedulerLimits(**limits)
+            except ValueError as exc:
+                raise ConfigError(f"system.limits: {exc}") from None
+            object.__setattr__(self, "limits", limits)
+        object.__setattr__(self, "options", _check_mapping(self.options, "system.options"))
+
+    def scheduler_limits(self) -> Optional[SchedulerLimits]:
+        """Materialise the limits override (``None`` when nothing is set)."""
+        if self.limits is None:
+            return None
+        return SchedulerLimits(**self.limits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "prefill_chunk_tokens": self.prefill_chunk_tokens,
+            "limits": dict(self.limits) if self.limits is not None else None,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SystemSpec":
+        _reject_unknown_keys(cls, data, "system spec")
+        return cls(
+            name=data.get("name", "hetis"),
+            prefill_chunk_tokens=data.get("prefill_chunk_tokens"),
+            limits=data.get("limits"),
+            options=data.get("options") or {},
+        )
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """Replica router for replicated deployments.
+
+    ``options`` is forwarded to the router factory after the run seed; the
+    built-in routers take no options, but registered third-party factories
+    may.  Ignored (with the default name) for single-replica deployments.
+    """
+
+    name: str = "round-robin"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.name, str) and bool(self.name), "router.name must be a non-empty string")
+        object.__setattr__(self, "name", _check_name(ROUTERS, self.name, "router.name"))
+        object.__setattr__(self, "options", _check_mapping(self.options, "router.options"))
+
+    def build(self, seed: int = 0):
+        """Instantiate the router (fresh state each call)."""
+        factory = ROUTERS.require(self.name)
+        if self.options:
+            return factory(seed, **self.options)
+        return factory(seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RouterSpec":
+        _reject_unknown_keys(cls, data, "router spec")
+        return cls(name=data.get("name", "round-robin"), options=data.get("options") or {})
+
+
+@dataclass(frozen=True)
+class ElasticitySpec:
+    """Elastic-serving control plane: autoscaler and/or admission control.
+
+    Either half may be ``None`` (off).  ``*_options`` are the keyword
+    arguments of the corresponding policy constructor (e.g.
+    ``{"interval": 2.0, "target_utilization": 0.5}`` for ``target-kv``);
+    they are validated eagerly by constructing a throwaway policy, so a typo
+    fails at parse time with the policy's own error message.
+    """
+
+    autoscaler: Optional[str] = None
+    autoscaler_options: Mapping[str, Any] = field(default_factory=dict)
+    admission: Optional[str] = None
+    admission_options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "autoscaler_options",
+            _check_mapping(self.autoscaler_options, "elasticity.autoscaler_options"),
+        )
+        object.__setattr__(
+            self, "admission_options",
+            _check_mapping(self.admission_options, "elasticity.admission_options"),
+        )
+        if self.autoscaler is not None:
+            object.__setattr__(
+                self, "autoscaler",
+                _check_name(AUTOSCALERS, self.autoscaler, "elasticity.autoscaler"),
+            )
+        else:
+            _check(
+                not self.autoscaler_options,
+                "elasticity.autoscaler_options given without elasticity.autoscaler",
+            )
+        if self.admission is not None:
+            object.__setattr__(
+                self, "admission",
+                _check_name(ADMISSIONS, self.admission, "elasticity.admission"),
+            )
+        else:
+            _check(
+                not self.admission_options,
+                "elasticity.admission_options given without elasticity.admission",
+            )
+        # Validate the option values by constructing throwaway policies now:
+        # a bad interval/threshold should point at the spec, not the builder.
+        try:
+            self.build_autoscaler()
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"elasticity.autoscaler_options: {exc}") from None
+        try:
+            self.build_admission()
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"elasticity.admission_options: {exc}") from None
+
+    @property
+    def enabled(self) -> bool:
+        return self.autoscaler is not None or self.admission is not None
+
+    def build_autoscaler(self) -> Optional[AutoscalerPolicy]:
+        if self.autoscaler is None:
+            return None
+        return AUTOSCALERS.create(self.autoscaler, **self.autoscaler_options)
+
+    def build_admission(self) -> Optional[AdmissionController]:
+        if self.admission is None:
+            return None
+        return ADMISSIONS.create(self.admission, **self.admission_options)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "autoscaler": self.autoscaler,
+            "autoscaler_options": dict(self.autoscaler_options),
+            "admission": self.admission,
+            "admission_options": dict(self.admission_options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ElasticitySpec":
+        _reject_unknown_keys(cls, data, "elasticity spec")
+        return cls(
+            autoscaler=data.get("autoscaler"),
+            autoscaler_options=data.get("autoscaler_options") or {},
+            admission=data.get("admission"),
+            admission_options=data.get("admission_options") or {},
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The trace to replay: dataset, arrival process, and size.
+
+    With ``phases`` set, arrivals follow the piecewise-constant schedule (the
+    diurnal / spike shapes of the elasticity experiments) and ``num_requests``
+    caps how many are kept; otherwise arrivals are Poisson at
+    ``request_rate``.
+    """
+
+    dataset: str = "sharegpt"
+    request_rate: float = 5.0
+    num_requests: int = 64
+    seed: int = 0
+    phases: Optional[Tuple[RatePhase, ...]] = None
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.dataset, str) and bool(self.dataset), "workload.dataset must be a non-empty string")
+        object.__setattr__(
+            self, "dataset", _check_name(DATASETS, self.dataset.lower(), "workload.dataset")
+        )
+        _check(
+            isinstance(self.request_rate, (int, float))
+            and (self.request_rate > 0 or self.phases is not None),
+            f"workload.request_rate must be > 0, got {self.request_rate!r} "
+            "(with phases set, the rate is bookkeeping-only and 0 is allowed)",
+        )
+        object.__setattr__(self, "request_rate", float(self.request_rate))
+        _check(
+            isinstance(self.num_requests, int) and not isinstance(self.num_requests, bool)
+            and self.num_requests >= 0,
+            f"workload.num_requests must be an integer >= 0, got {self.num_requests!r}",
+        )
+        _check(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool) and self.seed >= 0,
+            f"workload.seed must be an integer >= 0, got {self.seed!r}",
+        )
+        if self.phases is not None:
+            phases = tuple(self._coerce_phase(p, i) for i, p in enumerate(self.phases))
+            _check(len(phases) > 0, "workload.phases must not be empty")
+            object.__setattr__(self, "phases", phases)
+
+    @staticmethod
+    def _coerce_phase(value, index: int) -> RatePhase:
+        if isinstance(value, RatePhase):
+            return value
+        try:
+            if isinstance(value, Mapping):
+                return RatePhase(rate=float(value["rate"]), duration=float(value["duration"]))
+            rate, duration = value
+            return RatePhase(rate=float(rate), duration=float(duration))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"workload.phases[{index}] must be a {{rate, duration}} pair, "
+                f"got {value!r} ({exc})"
+            ) from None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "request_rate": self.request_rate,
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+            "phases": (
+                [{"rate": p.rate, "duration": p.duration} for p in self.phases]
+                if self.phases is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        _reject_unknown_keys(cls, data, "workload spec")
+        phases = data.get("phases")
+        return cls(
+            dataset=data.get("dataset", "sharegpt"),
+            request_rate=data.get("request_rate", 5.0),
+            num_requests=data.get("num_requests", 64),
+            seed=data.get("seed", 0),
+            # `is not None`: an explicit [] must fail validation, not vanish.
+            phases=tuple(phases) if phases is not None else None,
+        )
+
+
+def _slo_to_dict(slo: SLOSpec) -> Dict[str, Any]:
+    return {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s}
+
+
+def _slo_from_dict(data: Mapping) -> SLOSpec:
+    unknown = sorted(set(data) - {"ttft_s", "tpot_s"})
+    if unknown:
+        raise ConfigError(
+            f"unknown key(s) {', '.join(map(repr, unknown))} in slo spec; "
+            "expected: ttft_s, tpot_s"
+        )
+
+    def bound(key: str, default: float) -> float:
+        raw = data.get(key, default)
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(f"slo.{key} must be a number, got {raw!r}") from None
+        _check(value > 0, f"slo.{key} must be > 0, got {value!r}")
+        return value
+
+    return SLOSpec(
+        ttft_s=bound("ttft_s", SLOSpec.ttft_s),
+        tpot_s=bound("tpot_s", SLOSpec.tpot_s),
+    )
+
+
+# ------------------------------------------------------------------ deployment
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """A complete, serializable description of one simulated deployment.
+
+    ``repro.api.build`` turns a spec into a ready-to-run system + trace;
+    ``repro.api.run`` additionally simulates it.  ``elasticity`` and ``slo``
+    default to off/loose, which preserves the legacy fixed-capacity behaviour
+    bit-for-bit.
+    """
+
+    model: str = "llama-13b"
+    system: SystemSpec = field(default_factory=SystemSpec)
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    router: RouterSpec = field(default_factory=RouterSpec)
+    elasticity: Optional[ElasticitySpec] = None
+    slo: Optional[SLOSpec] = None
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    max_simulated_time: float = 24 * 3600.0
+
+    def __post_init__(self) -> None:
+        _check(isinstance(self.model, str) and bool(self.model), "model must be a non-empty string")
+        _check(
+            self.model in MODEL_CATALOG,
+            f"unknown model {self.model!r}; available: {', '.join(sorted(MODEL_CATALOG))}",
+        )
+        _check(isinstance(self.system, SystemSpec), "system must be a SystemSpec")
+        _check(isinstance(self.cluster, ClusterSpec), "cluster must be a ClusterSpec")
+        _check(isinstance(self.router, RouterSpec), "router must be a RouterSpec")
+        _check(
+            self.elasticity is None or isinstance(self.elasticity, ElasticitySpec),
+            "elasticity must be an ElasticitySpec or null",
+        )
+        _check(
+            self.slo is None or isinstance(self.slo, SLOSpec),
+            "slo must be an SLOSpec or null",
+        )
+        _check(isinstance(self.workload, WorkloadSpec), "workload must be a WorkloadSpec")
+        _check(
+            isinstance(self.max_simulated_time, (int, float)) and self.max_simulated_time > 0,
+            f"max_simulated_time must be > 0, got {self.max_simulated_time!r}",
+        )
+        object.__setattr__(self, "max_simulated_time", float(self.max_simulated_time))
+
+    # -- derived views ---------------------------------------------------------------
+
+    @property
+    def is_replicated(self) -> bool:
+        """Whether this deployment builds a ClusterServingSystem."""
+        return (
+            self.cluster.replicas > 1
+            or self.cluster.replica_kinds is not None
+            or (self.elasticity is not None and self.elasticity.enabled)
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (CLI dry runs and sweep logs)."""
+        shape = self.cluster.kind
+        if self.cluster.replica_kinds is not None:
+            shape = " | ".join(self.cluster.replica_kinds)
+        elif self.cluster.replicas > 1:
+            shape = f"{self.cluster.replicas}x {self.cluster.kind}"
+        parts = [f"{self.system.name} on {shape} serving {self.model}"]
+        if self.is_replicated:
+            parts.append(f"router={self.router.name}")
+        if self.elasticity is not None and self.elasticity.autoscaler:
+            parts.append(f"autoscaler={self.elasticity.autoscaler}")
+        if self.elasticity is not None and self.elasticity.admission:
+            parts.append(f"admission={self.elasticity.admission}")
+        if self.slo is not None:
+            parts.append(f"slo=({self.slo.ttft_s:g}s TTFT, {self.slo.tpot_s:g}s TPOT)")
+        wl = self.workload
+        arrivals = f"{len(wl.phases)} phases" if wl.phases else f"{wl.request_rate:g} req/s"
+        parts.append(f"{wl.num_requests} x {wl.dataset} @ {arrivals}, seed {wl.seed}")
+        return ", ".join(parts)
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "system": self.system.to_dict(),
+            "cluster": self.cluster.to_dict(),
+            "router": self.router.to_dict(),
+            "elasticity": self.elasticity.to_dict() if self.elasticity is not None else None,
+            "slo": _slo_to_dict(self.slo) if self.slo is not None else None,
+            "workload": self.workload.to_dict(),
+            "max_simulated_time": self.max_simulated_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DeploymentSpec":
+        _check(isinstance(data, Mapping), f"deployment spec must be a mapping, got {type(data).__name__}")
+        _reject_unknown_keys(cls, data, "deployment spec")
+
+        def sub(key, loader, default):
+            value = data.get(key)
+            if value is None:
+                return default() if callable(default) else default
+            if isinstance(value, Mapping):
+                return loader(value)
+            return value  # already a spec object (programmatic use)
+
+        return cls(
+            model=data.get("model", "llama-13b"),
+            system=sub("system", SystemSpec.from_dict, SystemSpec),
+            cluster=sub("cluster", ClusterSpec.from_dict, ClusterSpec),
+            router=sub("router", RouterSpec.from_dict, RouterSpec),
+            elasticity=sub("elasticity", ElasticitySpec.from_dict, None),
+            slo=sub("slo", _slo_from_dict, None),
+            workload=sub("workload", WorkloadSpec.from_dict, WorkloadSpec),
+            max_simulated_time=data.get("max_simulated_time", 24 * 3600.0),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def load(cls, path) -> "DeploymentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(f"config file {str(path)!r} does not exist")
+        suffix = path.suffix.lower()
+        if suffix == ".json":
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"{path}: invalid JSON ({exc})") from None
+        elif suffix == ".toml":
+            try:
+                import tomllib
+            except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+                try:
+                    import tomli as tomllib  # type: ignore[no-redef]
+                except ModuleNotFoundError:
+                    raise ConfigError(
+                        f"{path}: TOML configs need Python 3.11+ (tomllib) or "
+                        "the 'tomli' package; rewrite the config as JSON instead"
+                    ) from None
+            try:
+                data = tomllib.loads(path.read_text())
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigError(f"{path}: invalid TOML ({exc})") from None
+        else:
+            raise ConfigError(
+                f"config file {str(path)!r} has unsupported extension "
+                f"{suffix or '(none)'!r}; use .json or .toml"
+            )
+        try:
+            return cls.from_dict(data)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+
+    def save(self, path) -> None:
+        """Write the spec as JSON (the canonical interchange format)."""
+        path = Path(path)
+        if path.suffix.lower() != ".json":
+            raise ConfigError(f"save() writes JSON; got {str(path)!r}")
+        path.write_text(self.to_json() + "\n")
+
+    # -- overrides (the sweep substrate) ----------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "DeploymentSpec":
+        """A new spec with dotted-path fields replaced, re-validated.
+
+        ``{"workload.request_rate": 8.0, "router.name": "least-kv"}`` sets
+        nested fields; intermediate ``None`` subtrees (``elasticity``,
+        ``slo``) are created on demand, so ``{"slo.ttft_s": 2.0}`` works on a
+        spec with no SLO.
+        """
+        data = self.to_dict()
+        for dotted, value in overrides.items():
+            keys = [k for k in str(dotted).split(".") if k]
+            _check(bool(keys), f"empty override path {dotted!r}")
+            node = data
+            trail = []
+            for key in keys[:-1]:
+                trail.append(key)
+                _check(
+                    isinstance(node, dict),
+                    f"override path {dotted!r}: {'.'.join(trail[:-1])} is not a section",
+                )
+                if node.get(key) is None:
+                    node[key] = {}
+                node = node[key]
+            _check(
+                isinstance(node, dict),
+                f"override path {dotted!r}: {'.'.join(trail)} is not a section",
+            )
+            leaf_parent_keys = _known_keys_for_path(keys[:-1])
+            if leaf_parent_keys is not None and keys[-1] not in leaf_parent_keys:
+                raise ConfigError(
+                    f"override path {dotted!r}: unknown field {keys[-1]!r}; "
+                    f"expected one of: {', '.join(leaf_parent_keys)}"
+                )
+            node[keys[-1]] = value
+        return DeploymentSpec.from_dict(data)
+
+
+_SECTION_CLASSES: Dict[Tuple[str, ...], Any] = {
+    (): DeploymentSpec,
+    ("system",): SystemSpec,
+    ("cluster",): ClusterSpec,
+    ("router",): RouterSpec,
+    ("elasticity",): ElasticitySpec,
+    ("workload",): WorkloadSpec,
+}
+
+
+def _known_keys_for_path(path: Sequence[str]) -> Optional[List[str]]:
+    """Valid field names under a dotted path, or ``None`` for free-form maps."""
+    key = tuple(path)
+    if key == ("slo",):
+        return ["ttft_s", "tpot_s"]
+    cls = _SECTION_CLASSES.get(key)
+    if cls is None:
+        return None  # options/limits mappings accept arbitrary keys
+    return _known_keys(cls)
+
+
+# ------------------------------------------------------------------ sweep grids
+
+
+def parse_grid_value(text: str) -> Any:
+    """Parse one ``--grid`` value: JSON scalar if possible, else the string."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def parse_grid_axis(axis: str) -> Tuple[str, List[Any]]:
+    """Parse ``key=v1,v2,...`` into a dotted path and its candidate values.
+
+    Values containing commas of their own (multi-host cluster blueprints like
+    ``a100:2,t4:4``) would be mangled by the comma split, so a right-hand side
+    that parses as a JSON list is taken verbatim as the value list:
+    ``cluster.kind=["a100:2,t4:4","small"]``.
+    """
+    key, sep, values = axis.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise ConfigError(
+            f"grid axis {axis!r} must look like 'workload.request_rate=2,4,8'"
+        )
+    try:
+        as_json = json.loads(values)
+    except json.JSONDecodeError:
+        as_json = None
+    if isinstance(as_json, list):
+        parsed = as_json
+    else:
+        parsed = [parse_grid_value(v.strip()) for v in values.split(",") if v.strip() != ""]
+    if not parsed:
+        raise ConfigError(f"grid axis {axis!r} has no values after '='")
+    return key, parsed
+
+
+def expand_grid(
+    spec: DeploymentSpec, axes: Mapping[str, Sequence[Any]]
+) -> List[Tuple[Dict[str, Any], DeploymentSpec]]:
+    """Cartesian-product a base spec with override axes.
+
+    Returns ``(overrides, spec)`` pairs in deterministic order: the first axis
+    varies slowest.  Every produced spec re-validates, so an invalid
+    combination fails before anything runs.
+    """
+    pairs: List[Tuple[Dict[str, Any], DeploymentSpec]] = [({}, spec)]
+    for key, values in axes.items():
+        _check(len(values) > 0, f"grid axis {key!r} has no values")
+        next_pairs: List[Tuple[Dict[str, Any], DeploymentSpec]] = []
+        for overrides, base in pairs:
+            for value in values:
+                merged = dict(overrides)
+                merged[key] = value
+                next_pairs.append((merged, base.with_overrides({key: value})))
+        pairs = next_pairs
+    return pairs

@@ -51,6 +51,7 @@ from repro.core.elasticity import (
     make_admission,
     make_autoscaler,
 )
+from repro.registry import Registry
 from repro.sim.engine import ADMIT, AdmissionDecision, ServingSystem
 from repro.sim.iteration import Iteration, IterationOutcome
 from repro.sim.recorder import PrefixedRecorderView, TimeSeriesRecorder
@@ -279,27 +280,45 @@ class WeightedPowerOfTwoRouter(ReplicaRouter):
         return first
 
 
-ROUTER_FACTORIES = {
-    "round-robin": lambda seed: RoundRobinRouter(),
-    "least-kv": lambda seed: LeastKVLoadRouter(),
-    "power-of-two": lambda seed: PowerOfTwoChoicesRouter(seed),
-    "weighted-round-robin": lambda seed: WeightedRoundRobinRouter(),
-    "weighted-least-kv": lambda seed: WeightedLeastKVRouter(),
-    "weighted-power-of-two": lambda seed: WeightedPowerOfTwoRouter(seed),
-}
+#: Router plugin registry.  Factories take the run seed (routers that do not
+#: sample simply ignore it) and return a fresh :class:`ReplicaRouter`.
+#: Third-party routers join with ``@ROUTERS.register("my-router", help="...")``.
+ROUTERS: Registry = Registry("router")
+ROUTERS.register(
+    "round-robin", lambda seed: RoundRobinRouter(),
+    help="cycle through replicas in arrival order",
+)
+ROUTERS.register(
+    "least-kv", lambda seed: LeastKVLoadRouter(),
+    help="send each arrival to the replica with the lowest KV-cache utilisation",
+)
+ROUTERS.register(
+    "power-of-two", lambda seed: PowerOfTwoChoicesRouter(seed),
+    help="sample two replicas with a seeded RNG, pick the less loaded one",
+)
+ROUTERS.register(
+    "weighted-round-robin", lambda seed: WeightedRoundRobinRouter(),
+    help="smooth round-robin in proportion to replica KV capacity",
+)
+ROUTERS.register(
+    "weighted-least-kv", lambda seed: WeightedLeastKVRouter(),
+    help="lowest utilisation, ties broken toward the larger replica",
+)
+ROUTERS.register(
+    "weighted-power-of-two", lambda seed: WeightedPowerOfTwoRouter(seed),
+    help="power-of-two with capacity-proportional candidate sampling",
+)
+
+#: Legacy alias: the pre-registry factory dict.  A Registry is a Mapping, so
+#: ``sorted(ROUTER_FACTORIES)`` / ``ROUTER_FACTORIES[name]`` keep working.
+ROUTER_FACTORIES = ROUTERS
 
 
 def make_router(router: "str | ReplicaRouter", seed: int = 0) -> ReplicaRouter:
     """Resolve a router name (or pass through an instance)."""
     if isinstance(router, ReplicaRouter):
         return router
-    try:
-        factory = ROUTER_FACTORIES[router]
-    except KeyError:
-        raise ValueError(
-            f"unknown router {router!r}; available: {sorted(ROUTER_FACTORIES)}"
-        ) from None
-    return factory(seed)
+    return ROUTERS.create(router, seed)
 
 
 # Replicas usually share a cluster blueprint, so their unit and device names

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.registry import Registry
 from repro.sim.engine import ADMIT, AdmissionDecision
 from repro.sim.request import Request
 
@@ -170,23 +171,28 @@ class QueueDepthAutoscaler(AutoscalerPolicy):
         return math.ceil(total_queue / self.target_queue_per_replica)
 
 
-AUTOSCALER_FACTORIES = {
-    "target-kv": TargetKVUtilizationAutoscaler,
-    "queue-depth": QueueDepthAutoscaler,
-}
+#: Autoscaler plugin registry; entries are :class:`AutoscalerPolicy` factories
+#: taking the policy's keyword arguments.  Third-party policies join with
+#: ``@AUTOSCALERS.register("my-policy", help="...")``.
+AUTOSCALERS: Registry = Registry("autoscaler")
+AUTOSCALERS.register(
+    "target-kv", TargetKVUtilizationAutoscaler,
+    help="track a target mean KV utilisation across active replicas",
+)
+AUTOSCALERS.register(
+    "queue-depth", QueueDepthAutoscaler,
+    help="cap the queue depth each active replica carries",
+)
+
+#: Legacy alias: the pre-registry factory dict (a Registry is a Mapping).
+AUTOSCALER_FACTORIES = AUTOSCALERS
 
 
 def make_autoscaler(policy: "str | AutoscalerPolicy | None", **kwargs) -> Optional[AutoscalerPolicy]:
     """Resolve an autoscaler name (or pass through an instance / ``None``)."""
     if policy is None or isinstance(policy, AutoscalerPolicy):
         return policy
-    try:
-        factory = AUTOSCALER_FACTORIES[policy]
-    except KeyError:
-        raise ValueError(
-            f"unknown autoscaler {policy!r}; available: {sorted(AUTOSCALER_FACTORIES)}"
-        ) from None
-    return factory(**kwargs)
+    return AUTOSCALERS.create(policy, **kwargs)
 
 
 # --------------------------------------------------------------------------- admission
@@ -281,10 +287,22 @@ class QueueThresholdAdmission(AdmissionController):
         return state.queue_depth >= self.max_queue_depth
 
 
-ADMISSION_FACTORIES = {
-    "kv-threshold": KVThresholdAdmission,
-    "queue-threshold": QueueThresholdAdmission,
-}
+#: Admission-controller plugin registry; entries are
+#: :class:`AdmissionController` factories taking the policy's keyword
+#: arguments.  Third-party controllers join with
+#: ``@ADMISSIONS.register("my-policy", help="...")``.
+ADMISSIONS: Registry = Registry("admission policy")
+ADMISSIONS.register(
+    "kv-threshold", KVThresholdAdmission,
+    help="turn arrivals away while every active replica's KV cache is above a bound",
+)
+ADMISSIONS.register(
+    "queue-threshold", QueueThresholdAdmission,
+    help="turn arrivals away while every active replica's queue is above a bound",
+)
+
+#: Legacy alias: the pre-registry factory dict (a Registry is a Mapping).
+ADMISSION_FACTORIES = ADMISSIONS
 
 
 def make_admission(
@@ -293,10 +311,4 @@ def make_admission(
     """Resolve an admission-controller name (or pass through an instance / ``None``)."""
     if policy is None or isinstance(policy, AdmissionController):
         return policy
-    try:
-        factory = ADMISSION_FACTORIES[policy]
-    except KeyError:
-        raise ValueError(
-            f"unknown admission policy {policy!r}; available: {sorted(ADMISSION_FACTORIES)}"
-        ) from None
-    return factory(**kwargs)
+    return ADMISSIONS.create(policy, **kwargs)

@@ -157,6 +157,82 @@ class ClusterBuilder:
         return Cluster(hosts=hosts, interconnect=self._interconnect)
 
 
+def parse_blueprint(spec: str) -> List[tuple]:
+    """Parse an inline cluster blueprint into ``(gpu_type, count)`` host tuples.
+
+    The blueprint grammar is comma-separated ``type:count`` hosts --
+    ``"a100:4"``, ``"a100:2,t4:4"`` -- with ``:count`` optional (``"a100"``
+    means one GPU).  Every malformed shape gets a pointed error naming the
+    offending host entry, instead of a bare ``int()`` traceback or a silently
+    empty cluster:
+
+    * empty blueprint / empty host entry (``"a100:2,,t4:1"``),
+    * a trailing colon with no count (``"a100:"``),
+    * a non-integer count (``"a100:two"``),
+    * a zero or negative count (``"a100:0"``, ``"a100:-2"``),
+    * an unknown GPU type (via :func:`~repro.hardware.gpu.get_gpu_spec`).
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(
+            f"empty cluster blueprint {spec!r}; expected comma-separated "
+            "type:count hosts like 'a100:2,t4:4'"
+        )
+    hosts: List[tuple] = []
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            raise ValueError(
+                f"empty host entry in cluster blueprint {spec!r}; expected "
+                "comma-separated type:count hosts like 'a100:2,t4:4'"
+            )
+        name, sep, count_str = entry.partition(":")
+        name = name.strip()
+        count_str = count_str.strip()
+        if not name:
+            raise ValueError(
+                f"host entry {entry!r} in cluster blueprint {spec!r} is missing "
+                "a GPU type before ':'"
+            )
+        if sep and not count_str:
+            raise ValueError(
+                f"host entry {entry!r} in cluster blueprint {spec!r} has a ':' "
+                "but no GPU count; write 'a100:2' or just 'a100'"
+            )
+        if not sep:
+            count = 1
+        else:
+            try:
+                count = int(count_str)
+            except ValueError:
+                raise ValueError(
+                    f"host entry {entry!r} in cluster blueprint {spec!r} has a "
+                    f"non-integer GPU count {count_str!r}"
+                ) from None
+        if count < 1:
+            raise ValueError(
+                f"host entry {entry!r} in cluster blueprint {spec!r} must have "
+                f"a GPU count >= 1, got {count}"
+            )
+        # Validate the GPU type eagerly so the error points at the blueprint.
+        try:
+            get_gpu_spec(name)
+        except KeyError:
+            raise ValueError(
+                f"host entry {entry!r} in cluster blueprint {spec!r} names an "
+                f"unknown GPU type {name!r}"
+            ) from None
+        hosts.append((name, count))
+    return hosts
+
+
+def cluster_from_blueprint(spec: str, interconnect: Optional[Interconnect] = None) -> Cluster:
+    """Build a cluster from an inline ``type:count,...`` blueprint string."""
+    builder = ClusterBuilder(interconnect=interconnect)
+    for name, count in parse_blueprint(spec):
+        builder.add_host(name, count=count)
+    return builder.build()
+
+
 def paper_cluster() -> Cluster:
     """The default evaluation cluster of the paper.
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim.iteration import Iteration, IterationOutcome
-from repro.sim.metrics import MetricsCollector, SummaryStats
+from repro.sim.metrics import MetricsCollector, SLOSpec, SummaryStats
 from repro.sim.recorder import TimeSeriesRecorder
 from repro.sim.request import Request
 from repro.sim.units import ExecutionUnit
@@ -157,6 +157,9 @@ class Engine:
     max_events:
         Hard cap on processed events to guarantee termination even for
         pathological configurations.
+    slo:
+        TTFT/TPOT objectives the SLO-attainment/goodput metrics are scored
+        against; ``None`` keeps the loose interactive-chat defaults.
     """
 
     def __init__(
@@ -164,11 +167,12 @@ class Engine:
         system: ServingSystem,
         max_simulated_time: float = 24 * 3600.0,
         max_events: int = 2_000_000,
+        slo: Optional[SLOSpec] = None,
     ) -> None:
         self.system = system
         self.max_simulated_time = max_simulated_time
         self.max_events = max_events
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(slo=slo)
         self.recorder = TimeSeriesRecorder()
 
     def run(self, trace: Trace) -> SimulationResult:

@@ -11,6 +11,7 @@ arrival processes.
 
 from repro.workloads.datasets import (
     DatasetSpec,
+    DATASETS,
     DATASET_CATALOG,
     get_dataset_spec,
     sample_requests,
@@ -28,6 +29,7 @@ from repro.workloads.trace import Trace, generate_trace
 
 __all__ = [
     "DatasetSpec",
+    "DATASETS",
     "DATASET_CATALOG",
     "get_dataset_spec",
     "sample_requests",

@@ -33,6 +33,24 @@ def test_build_cluster_inline_blueprints():
         build_cluster("warpdrive:2")
 
 
+def test_build_cluster_rejects_malformed_blueprints():
+    """Malformed blueprints fail with a pointed error naming the host entry."""
+    with pytest.raises(ValueError, match="no GPU count"):
+        build_cluster("a100:")
+    with pytest.raises(ValueError, match="count >= 1, got 0"):
+        build_cluster("a100:0")
+    with pytest.raises(ValueError, match="count >= 1, got -2"):
+        build_cluster("a100:-2")
+    with pytest.raises(ValueError, match="empty host entry"):
+        build_cluster("a100:2,,t4:1")
+    with pytest.raises(ValueError, match="non-integer GPU count 'two'"):
+        build_cluster("a100:two")
+    with pytest.raises(ValueError, match="unknown GPU type 'warpdrive'"):
+        build_cluster("warpdrive:2")
+    # A bare type inside a blueprint still means one GPU.
+    assert build_cluster("a100:2,t4").num_devices == 3
+
+
 def test_elasticity_listings():
     assert set(repro.available_autoscalers()) == {"target-kv", "queue-depth"}
     assert set(repro.available_admission_policies()) == {"kv-threshold", "queue-threshold"}
@@ -115,3 +133,25 @@ def test_run_system_with_custom_trace():
     trace = generate_trace("humaneval", 8.0, 6, seed=0)
     result = run_system(system, trace)
     assert result.summary.num_finished == 6
+
+
+def test_build_replicated_system_single_replica():
+    """One fixed replica still gets the ClusterServingSystem wrapper."""
+    from repro.api import build_replicated_system
+    from repro.core.cluster_system import ClusterServingSystem
+
+    system = build_replicated_system("static-tp", "llama-13b", 1, cluster_kind="small")
+    assert isinstance(system, ClusterServingSystem)
+    assert len(system.replicas) == 1
+
+
+def test_build_replicated_system_single_replica_with_cluster():
+    """A prebuilt one-entry clusters list is used, not silently replaced."""
+    from repro.api import build_replicated_system
+
+    mine = build_cluster("rtx3090:2")
+    system = build_replicated_system("static-tp", "llama-13b", 1, clusters=[mine])
+    assert len(system.replicas) == 1
+    assert system.available_cache_bytes() == system.replicas[0].available_cache_bytes()
+    paper_sized = build_replicated_system("static-tp", "llama-13b", 1).available_cache_bytes()
+    assert system.available_cache_bytes() < paper_sized

@@ -133,3 +133,171 @@ def test_invalid_system_rejected_by_parser():
 def test_invalid_dataset_rejected_by_parser():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["serve", "--dataset", "wikitext"])
+
+
+# ---------------------------------------------------------------- config-driven
+
+
+BASE_CONFIG = {
+    "model": "llama-13b",
+    "system": {"name": "static-tp"},
+    "cluster": {"kind": "small"},
+    "workload": {"dataset": "sharegpt", "request_rate": 8.0, "num_requests": 6, "seed": 0},
+}
+
+
+def write_config(tmp_path, data=None, name="deploy.json"):
+    import json
+
+    path = tmp_path / name
+    path.write_text(json.dumps(data if data is not None else BASE_CONFIG))
+    return str(path)
+
+
+def test_run_config_end_to_end(tmp_path):
+    code, text = run_cli(["run", write_config(tmp_path)])
+    assert code == 0
+    assert "static-tp on small" in text
+    assert "mean s/tok" in text
+
+
+def test_run_config_dry_run_builds_without_simulating(tmp_path):
+    code, text = run_cli(["run", write_config(tmp_path), "--dry-run"])
+    assert code == 0
+    assert "config OK" in text
+    assert "trace: 6 requests" in text
+    assert "mean s/tok" not in text
+
+
+def test_run_config_toml(tmp_path):
+    path = tmp_path / "deploy.toml"
+    path.write_text(
+        'model = "llama-13b"\n'
+        '[system]\nname = "static-tp"\n'
+        '[cluster]\nkind = "small"\n'
+        '[workload]\nrequest_rate = 8.0\nnum_requests = 4\n'
+    )
+    code, text = run_cli(["run", str(path), "--dry-run"])
+    assert code == 0
+    assert "config OK" in text
+
+
+def test_run_config_set_overrides(tmp_path):
+    code, text = run_cli(
+        ["run", write_config(tmp_path), "--dry-run",
+         "--set", "cluster.replicas=2", "--set", "router.name=least-kv"]
+    )
+    assert code == 0
+    assert "2x small" in text
+    assert "least-kv" in text
+
+
+def test_run_config_with_slo_prints_attainment(tmp_path):
+    config = dict(BASE_CONFIG, slo={"ttft_s": 2.0, "tpot_s": 0.2})
+    code, text = run_cli(["run", write_config(tmp_path, config)])
+    assert code == 0
+    assert "slo [TTFT<=2s, TPOT<=0.2s]" in text
+    assert "attainment" in text
+
+
+def test_run_rejects_bad_config_cleanly(tmp_path):
+    config = dict(BASE_CONFIG, system={"name": "orca"})
+    with pytest.raises(SystemExit, match="unknown system 'orca'"):
+        main(["run", write_config(tmp_path, config)], out=io.StringIO())
+
+
+def test_run_rejects_missing_file_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["run", str(tmp_path / "nope.json")], out=io.StringIO())
+
+
+def test_sweep_grid_table_and_csv(tmp_path):
+    out_csv = tmp_path / "results.csv"
+    code, text = run_cli(
+        ["sweep", write_config(tmp_path),
+         "--grid", "workload.request_rate=4,8",
+         "--grid", "router.name=round-robin,least-kv",
+         "--set", "cluster.replicas=2",
+         "--out", str(out_csv)]
+    )
+    assert code == 0
+    assert "sweep over 4 deployment(s)" in text
+    lines = out_csv.read_text().strip().splitlines()
+    assert len(lines) == 5  # header + 4 rows
+    assert lines[0].startswith("workload.request_rate,router.name,mean_normalized_latency")
+
+
+def test_sweep_json_output(tmp_path):
+    import json
+
+    out_json = tmp_path / "results.json"
+    code, text = run_cli(
+        ["sweep", write_config(tmp_path),
+         "--grid", "workload.seed=0,1", "--out", str(out_json)]
+    )
+    assert code == 0
+    rows = json.loads(out_json.read_text())
+    assert len(rows) == 2
+    assert {row["workload.seed"] for row in rows} == {0, 1}
+    assert all("mean_normalized_latency" in row for row in rows)
+
+
+def test_sweep_rejects_bad_grid_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="grid axis"):
+        main(["sweep", write_config(tmp_path), "--grid", "nonsense"], out=io.StringIO())
+    with pytest.raises(SystemExit, match="unknown router"):
+        main(["sweep", write_config(tmp_path), "--grid", "router.name=teleport"],
+             out=io.StringIO())
+
+
+def test_serve_slo_flags_print_block():
+    code, text = run_cli(
+        ["serve", "--system", "static-tp", "--model", "llama-13b", "--gpus", "a100:1",
+         "--rate", "8", "--requests", "4", "--slo-ttft", "2", "--slo-tpot", "0.2"]
+    )
+    assert code == 0
+    assert "slo [TTFT<=2s, TPOT<=0.2s]" in text
+    assert "attainment" in text
+
+
+def test_serve_slo_flags_validated():
+    with pytest.raises(SystemExit, match="--slo-ttft must be > 0"):
+        main(["serve", "--system", "static-tp", "--gpus", "a100:1",
+              "--rate", "5", "--requests", "2", "--slo-ttft", "-1"], out=io.StringIO())
+
+
+def test_compare_with_slo_adds_column():
+    code, text = run_cli(
+        ["compare", "--systems", "static-tp", "--model", "llama-13b",
+         "--gpus", "a100:1", "--rate", "6", "--requests", "4", "--slo-ttft", "5"]
+    )
+    assert code == 0
+    assert "slo att" in text
+
+
+def test_malformed_gpus_rejected_cleanly():
+    with pytest.raises(SystemExit, match="no GPU count"):
+        main(["serve", "--system", "static-tp", "--gpus", "a100:",
+              "--rate", "5", "--requests", "2"], out=io.StringIO())
+
+
+def test_malformed_replica_gpus_rejected_cleanly():
+    with pytest.raises(SystemExit, match="count >= 1, got 0"):
+        main(["serve", "--system", "static-tp", "--replica-gpus", "a100:0",
+              "--rate", "5", "--requests", "2"], out=io.StringIO())
+
+
+def test_serve_single_replica_gpus_flag():
+    """A single --replica-gpus still builds a (1-replica) cluster deployment."""
+    code, text = run_cli(
+        ["serve", "--system", "static-tp", "--replica-gpus", "a100:1",
+         "--rate", "8", "--requests", "4"]
+    )
+    assert code == 0
+    assert "mean s/tok" in text
+
+
+def test_run_rejects_bad_builder_options_cleanly(tmp_path):
+    config = dict(BASE_CONFIG, system={"name": "static-tp", "options": {"bogus": 1}})
+    with pytest.raises(SystemExit, match="error: building .*bogus"):
+        main(["run", write_config(tmp_path, config), "--dry-run"], out=io.StringIO())

@@ -1,0 +1,365 @@
+"""Tests for the declarative deployment-spec layer (repro.config)."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.api import build, quick_serve, run
+from repro.config import (
+    ClusterSpec,
+    ConfigError,
+    DeploymentSpec,
+    ElasticitySpec,
+    RouterSpec,
+    SystemSpec,
+    WorkloadSpec,
+    expand_grid,
+    parse_grid_axis,
+)
+from repro.core.cluster_system import ROUTERS
+from repro.core.elasticity import ADMISSIONS, AUTOSCALERS
+from repro.sim.metrics import SLOSpec
+from repro.systems import SYSTEMS
+from repro.workloads.arrivals import RatePhase
+
+
+class TestRoundTrip:
+    def test_default_spec_round_trips(self):
+        spec = DeploymentSpec()
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_every_registered_combination_round_trips(self):
+        """from_dict(to_dict(spec)) is equality-preserving for the full
+        system x router x autoscaler x admission product."""
+        autoscalers = [None, *AUTOSCALERS.available()]
+        admissions = [None, *ADMISSIONS.available()]
+        combos = itertools.product(
+            SYSTEMS.available(), ROUTERS.available(), autoscalers, admissions
+        )
+        for system, router, autoscaler, admission in combos:
+            elasticity = None
+            if autoscaler is not None or admission is not None:
+                elasticity = ElasticitySpec(autoscaler=autoscaler, admission=admission)
+            spec = DeploymentSpec(
+                model="llama-13b",
+                system=SystemSpec(name=system, prefill_chunk_tokens=256),
+                cluster=ClusterSpec(kind="small", replicas=2),
+                router=RouterSpec(name=router),
+                elasticity=elasticity,
+                slo=SLOSpec(ttft_s=2.0, tpot_s=0.2),
+                workload=WorkloadSpec(
+                    dataset="humaneval", request_rate=9.0, num_requests=12, seed=3
+                ),
+            )
+            rebuilt = DeploymentSpec.from_dict(spec.to_dict())
+            assert rebuilt == spec, f"{system}/{router}/{autoscaler}/{admission}"
+            # And the dict itself is JSON-stable.
+            assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    def test_phases_and_options_round_trip(self):
+        spec = DeploymentSpec(
+            system=SystemSpec(
+                name="hetis",
+                limits={"max_running_requests": 64},
+                options={"theta": 0.4},
+            ),
+            cluster=ClusterSpec(kind="a100:1,rtx3090:2", replica_kinds=("a100:1", "rtx3090:2")),
+            elasticity=ElasticitySpec(
+                autoscaler="target-kv",
+                autoscaler_options={"interval": 2.0, "target_utilization": 0.5},
+                admission="queue-threshold",
+                admission_options={"max_queue_depth": 4, "mode": "defer"},
+            ),
+            workload=WorkloadSpec(
+                phases=(RatePhase(rate=8.0, duration=5.0), RatePhase(rate=1.0, duration=5.0)),
+            ),
+        )
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = DeploymentSpec(cluster=ClusterSpec(kind="small", replicas=2))
+        path = tmp_path / "deploy.json"
+        spec.save(path)
+        assert DeploymentSpec.load(path) == spec
+
+    def test_toml_file_loads(self, tmp_path):
+        path = tmp_path / "deploy.toml"
+        path.write_text(
+            'model = "llama-13b"\n'
+            "[system]\nname = \"static-tp\"\n"
+            "[cluster]\nkind = \"small\"\nreplicas = 2\n"
+            "[workload]\ndataset = \"sg\"\nrequest_rate = 6.0\nnum_requests = 8\n"
+        )
+        spec = DeploymentSpec.load(path)
+        assert spec.system.name == "static-tp"
+        assert spec.cluster.replicas == 2
+        assert spec.workload.dataset == "sharegpt"  # alias normalised
+
+    def test_load_rejects_unknown_extension_and_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            DeploymentSpec.load(tmp_path / "nope.json")
+        bad = tmp_path / "deploy.yaml"
+        bad.write_text("model: llama-13b\n")
+        with pytest.raises(ConfigError, match="use .json or .toml"):
+            DeploymentSpec.load(bad)
+
+    def test_load_points_at_file_on_bad_content(self, tmp_path):
+        path = tmp_path / "deploy.json"
+        path.write_text('{"model": "llama-13b", "system": {"name": "orca"}}')
+        with pytest.raises(ConfigError, match=r"deploy.json.*unknown system 'orca'"):
+            DeploymentSpec.load(path)
+
+
+class TestValidation:
+    def test_unknown_names_fail_at_parse_time(self):
+        with pytest.raises(ConfigError, match="system.name: unknown system 'orca'"):
+            SystemSpec(name="orca")
+        with pytest.raises(ConfigError, match="router.name: unknown router"):
+            RouterSpec(name="teleport")
+        with pytest.raises(ConfigError, match="workload.dataset: unknown dataset"):
+            WorkloadSpec(dataset="mmlu")
+        with pytest.raises(ConfigError, match="unknown model"):
+            DeploymentSpec(model="gpt-17")
+        with pytest.raises(ConfigError, match="elasticity.autoscaler: unknown autoscaler"):
+            ElasticitySpec(autoscaler="magic")
+
+    def test_system_name_normalised_through_aliases(self):
+        assert SystemSpec(name="STATIC_TP").name == "static-tp"
+
+    def test_cluster_validation(self):
+        with pytest.raises(ConfigError, match="cluster.replicas"):
+            ClusterSpec(replicas=0)
+        with pytest.raises(ConfigError, match="unknown cluster kind"):
+            ClusterSpec(kind="exascale")
+        with pytest.raises(ConfigError, match="cluster.kind"):
+            ClusterSpec(kind="a100:0")
+        with pytest.raises(ConfigError, match=r"replica_kinds\[1\]"):
+            ClusterSpec(replica_kinds=("a100:1", "warp:2"))
+        with pytest.raises(ConfigError, match="2 entries"):
+            ClusterSpec(replicas=3, replica_kinds=("a100:1", "rtx3090:1"))
+
+    def test_replica_kinds_imply_replica_count(self):
+        spec = ClusterSpec(replica_kinds=("a100:1", "rtx3090:2"))
+        assert spec.replicas == 2
+
+    def test_scheduler_limits_validated_eagerly(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            SystemSpec(limits={"max_runnign_requests": 8})
+        with pytest.raises(ConfigError, match="system.limits"):
+            SystemSpec(limits={"max_running_requests": -1})
+        limits = SystemSpec(limits={"max_running_requests": 8}).scheduler_limits()
+        assert limits.max_running_requests == 8
+
+    def test_elasticity_options_validated_eagerly(self):
+        with pytest.raises(ConfigError, match="elasticity.autoscaler_options"):
+            ElasticitySpec(autoscaler="target-kv", autoscaler_options={"target_utilization": 7})
+        with pytest.raises(ConfigError, match="elasticity.admission_options"):
+            ElasticitySpec(admission="kv-threshold", admission_options={"bogus": 1})
+        with pytest.raises(ConfigError, match="options given without"):
+            ElasticitySpec(autoscaler_options={"interval": 1.0})
+
+    def test_unknown_keys_rejected_with_expected_list(self):
+        with pytest.raises(ConfigError, match="unknown key.*'requests'.*expected"):
+            DeploymentSpec.from_dict({"workload": {"requests": 10}})
+        with pytest.raises(ConfigError, match="unknown key"):
+            DeploymentSpec.from_dict({"modle": "llama-13b"})
+
+    def test_bad_phases_pointed_at(self):
+        with pytest.raises(ConfigError, match=r"workload.phases\[1\]"):
+            WorkloadSpec(phases=[{"rate": 5, "duration": 2}, {"rate": 5}])
+
+    def test_slo_validation(self):
+        with pytest.raises(ConfigError, match="ttft_s"):
+            DeploymentSpec.from_dict({"slo": {"ttft_s": -1.0}})
+        with pytest.raises(ConfigError, match="slo spec"):
+            DeploymentSpec.from_dict({"slo": {"p99_ttft": 1.0}})
+
+
+class TestOverrides:
+    def test_nested_override(self):
+        spec = DeploymentSpec()
+        out = spec.with_overrides({"workload.request_rate": 9.0, "router.name": "least-kv"})
+        assert out.workload.request_rate == 9.0
+        assert out.router.name == "least-kv"
+        assert spec.workload.request_rate == 5.0  # original untouched
+
+    def test_override_creates_null_subtrees(self):
+        out = DeploymentSpec().with_overrides({"slo.ttft_s": 2.0})
+        assert out.slo == SLOSpec(ttft_s=2.0, tpot_s=SLOSpec.tpot_s)
+        out = DeploymentSpec().with_overrides({"elasticity.autoscaler": "target-kv"})
+        assert out.elasticity.autoscaler == "target-kv"
+
+    def test_override_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown field 'rps'"):
+            DeploymentSpec().with_overrides({"workload.rps": 3})
+
+    def test_override_revalidates(self):
+        with pytest.raises(ConfigError, match="unknown router"):
+            DeploymentSpec().with_overrides({"router.name": "teleport"})
+
+    def test_options_accept_free_form_keys(self):
+        out = DeploymentSpec().with_overrides(
+            {"elasticity.autoscaler": "target-kv",
+             "elasticity.autoscaler_options.target_utilization": 0.4}
+        )
+        assert out.elasticity.autoscaler_options["target_utilization"] == 0.4
+
+
+class TestGrid:
+    def test_parse_grid_axis(self):
+        key, values = parse_grid_axis("workload.request_rate=2,4.5,8")
+        assert key == "workload.request_rate"
+        assert values == [2, 4.5, 8]
+        key, values = parse_grid_axis("router.name=round-robin,least-kv")
+        assert values == ["round-robin", "least-kv"]
+        with pytest.raises(ConfigError, match="grid axis"):
+            parse_grid_axis("no-equals-sign")
+        with pytest.raises(ConfigError, match="no values"):
+            parse_grid_axis("workload.seed=")
+
+    def test_expand_grid_cartesian_order(self):
+        spec = DeploymentSpec()
+        combos = expand_grid(
+            spec,
+            {"workload.request_rate": [2, 4], "workload.seed": [0, 1, 2]},
+        )
+        assert len(combos) == 6
+        # First axis varies slowest.
+        assert [o["workload.request_rate"] for o, _ in combos] == [2, 2, 2, 4, 4, 4]
+        assert [o["workload.seed"] for o, _ in combos] == [0, 1, 2, 0, 1, 2]
+        assert combos[3][1].workload.request_rate == 4.0
+        assert combos[3][1].workload.seed == 0
+
+    def test_expand_grid_validates_points(self):
+        with pytest.raises(ConfigError, match="unknown router"):
+            expand_grid(DeploymentSpec(), {"router.name": ["round-robin", "teleport"]})
+
+
+class TestShimEquivalence:
+    """quick_serve(**kwargs) and run(DeploymentSpec(...)) are the same run."""
+
+    def _summaries_equal(self, a, b):
+        assert a.summary.mean_normalized_latency == b.summary.mean_normalized_latency
+        assert a.summary.p95_ttft == b.summary.p95_ttft
+        assert a.summary.p95_tpot == b.summary.p95_tpot
+        assert a.summary.throughput_tokens_per_s == b.summary.throughput_tokens_per_s
+        assert a.summary.num_finished == b.summary.num_finished
+        ra = sorted(a.metrics.records, key=lambda r: r.request_id)
+        rb = sorted(b.metrics.records, key=lambda r: r.request_id)
+        assert [r.finish_time for r in ra] == [r.finish_time for r in rb]
+
+    def test_single_replica(self):
+        kwargs = dict(
+            model="llama-13b", system="static-tp", dataset="sharegpt",
+            request_rate=8.0, num_requests=10, cluster_kind="small", seed=0,
+        )
+        legacy = quick_serve(**kwargs)
+        spec = DeploymentSpec(
+            model="llama-13b",
+            system=SystemSpec(name="static-tp"),
+            cluster=ClusterSpec(kind="small"),
+            workload=WorkloadSpec(dataset="sharegpt", request_rate=8.0, num_requests=10, seed=0),
+        )
+        self._summaries_equal(legacy, run(spec))
+
+    def test_replicated_elastic(self):
+        legacy = quick_serve(
+            model="llama-13b", system="static-tp", dataset="sharegpt",
+            request_rate=16.0, num_requests=12, cluster_kind="small", seed=1,
+            num_replicas=2, router="least-kv", admission="queue-threshold",
+        )
+        spec = DeploymentSpec(
+            model="llama-13b",
+            system=SystemSpec(name="static-tp"),
+            cluster=ClusterSpec(kind="small", replicas=2),
+            router=RouterSpec(name="least-kv"),
+            elasticity=ElasticitySpec(admission="queue-threshold"),
+            workload=WorkloadSpec(dataset="sharegpt", request_rate=16.0, num_requests=12, seed=1),
+        )
+        self._summaries_equal(legacy, run(spec))
+
+    def test_heterogeneous_router(self):
+        legacy = quick_serve(
+            model="llama-13b", system="static-tp", dataset="humaneval",
+            request_rate=20.0, num_requests=12, seed=0,
+            cluster_kinds=["a100:1", "rtx3090:2"], router="weighted-least-kv",
+        )
+        spec = DeploymentSpec(
+            model="llama-13b",
+            system=SystemSpec(name="static-tp"),
+            cluster=ClusterSpec(replica_kinds=("a100:1", "rtx3090:2")),
+            router=RouterSpec(name="weighted-least-kv"),
+            workload=WorkloadSpec(dataset="humaneval", request_rate=20.0, num_requests=12, seed=0),
+        )
+        self._summaries_equal(legacy, run(spec))
+
+
+class TestSLOPlumbing:
+    def test_quick_serve_slo_changes_attainment(self):
+        kwargs = dict(
+            model="llama-13b", system="static-tp", dataset="sharegpt",
+            request_rate=8.0, num_requests=8, cluster_kind="small", seed=0,
+        )
+        loose = quick_serve(**kwargs)
+        tight = quick_serve(slo=SLOSpec(ttft_s=1e-9, tpot_s=1e-9), **kwargs)
+        assert loose.summary.slo_attainment == 1.0
+        assert tight.summary.slo_attainment == 0.0
+        assert tight.summary.goodput_rps == 0.0
+        # SLO scoring must not perturb the simulation itself.
+        assert tight.summary.mean_normalized_latency == loose.summary.mean_normalized_latency
+
+    def test_spec_slo_reaches_metrics(self):
+        spec = DeploymentSpec(
+            model="llama-13b",
+            system=SystemSpec(name="static-tp"),
+            cluster=ClusterSpec(kind="small"),
+            slo=SLOSpec(ttft_s=1e-9, tpot_s=1e-9),
+            workload=WorkloadSpec(request_rate=8.0, num_requests=6, seed=0),
+        )
+        result = run(spec)
+        assert result.summary.slo_attainment == 0.0
+
+    def test_prepared_run_exposes_parts(self):
+        spec = DeploymentSpec(
+            model="llama-13b",
+            system=SystemSpec(name="static-tp"),
+            cluster=ClusterSpec(kind="small"),
+            workload=WorkloadSpec(request_rate=8.0, num_requests=4, seed=0),
+        )
+        prepared = build(spec)
+        assert len(prepared.trace) == 4
+        assert "static-tp" in prepared.describe()
+        result = prepared.run()
+        assert result.summary.num_finished == 4
+
+
+class TestReviewHardening:
+    def test_slo_non_numeric_is_config_error(self):
+        with pytest.raises(ConfigError, match="slo.ttft_s must be a number"):
+            DeploymentSpec.from_dict({"slo": {"ttft_s": "fast"}})
+        with pytest.raises(ConfigError, match="slo.tpot_s must be a number"):
+            DeploymentSpec.from_dict({"slo": {"tpot_s": None, "ttft_s": 1.0}})
+
+    def test_empty_replica_kinds_list_rejected_not_ignored(self):
+        with pytest.raises(ConfigError, match="replica_kinds must not be empty"):
+            DeploymentSpec.from_dict({"cluster": {"replica_kinds": []}})
+
+    def test_empty_phases_list_rejected_not_ignored(self):
+        with pytest.raises(ConfigError, match="phases must not be empty"):
+            DeploymentSpec.from_dict({"workload": {"phases": []}})
+
+    def test_grid_axis_json_list_preserves_commas(self):
+        key, values = parse_grid_axis('cluster.kind=["a100:2,t4:4","small"]')
+        assert key == "cluster.kind"
+        assert values == ["a100:2,t4:4", "small"]
+
+    def test_build_shims_do_not_generate_traces(self, monkeypatch):
+        import repro.api as api
+
+        def boom(*args, **kwargs):
+            raise AssertionError("trace generated during system construction")
+
+        monkeypatch.setattr(api, "generate_trace", boom)
+        system = api.build_replicated_system("static-tp", "llama-13b", 2, cluster_kind="small")
+        assert len(system.replicas) == 2
