@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Perf-trajectory benchmark for the engine and the parallel experiment runner.
+
+Times (a) a fixed single-deployment engine workload, (b) a 4-point sweep grid
+executed serially (``jobs=1``) and through the process pool (``jobs=4``), and
+(c) a cache-hit rerun of the same grid, then writes the measurements -- wall
+seconds, events/sec, parallel speedup, cache-hit fraction, and the perf-model
+LRU hit rates -- to ``BENCH_runner.json`` at the repo root.  That file is
+checked in, so the repo's perf trajectory is recorded change over change.
+
+Determinism is the only gate: the parallel and cache-hit rows must be
+bit-identical to the serial rows or the script exits non-zero.  The timing
+numbers themselves are recorded, never thresholded -- CI machines are too
+noisy for that.
+
+    PYTHONPATH=src python scripts/bench.py            # full workload
+    PYTHONPATH=src python scripts/bench.py --quick    # CI-sized (< ~30 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+try:  # runnable both as `python scripts/bench.py` and with PYTHONPATH=src set
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import quick_serve
+from repro.config import DeploymentSpec, expand_grid
+from repro.experiments.runner import SweepRunner
+from repro.perf.attention_model import DeviceAttentionModel
+from repro.perf.commcost import attention_transfer_bytes
+
+
+def _cache_stats(info) -> dict:
+    lookups = info.hits + info.misses
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "currsize": info.currsize,
+        "maxsize": info.maxsize,
+        "hit_rate": round(info.hits / lookups, 4) if lookups else None,
+    }
+
+
+def bench_engine(quick: bool) -> tuple[dict, dict]:
+    """One fixed Hetis deployment end to end; also collects LRU hit rates."""
+    num_requests = 32 if quick else 96
+    rate = 6.0
+    attention_transfer_bytes.cache_clear()
+    DeviceAttentionModel.head_coefficient.cache_clear()
+    t0 = time.perf_counter()
+    result = quick_serve(
+        model="llama-13b",
+        system="hetis",
+        dataset="sharegpt",
+        request_rate=rate,
+        num_requests=num_requests,
+        seed=0,
+    )
+    wall = time.perf_counter() - t0
+    caches = {
+        "attention_transfer_bytes": _cache_stats(attention_transfer_bytes.cache_info()),
+        "head_coefficient": _cache_stats(DeviceAttentionModel.head_coefficient.cache_info()),
+    }
+    engine = {
+        "workload": f"hetis/llama-13b/sharegpt @ {rate:g} req/s, n={num_requests}",
+        "wall_seconds": round(wall, 4),
+        "events": result.wall_clock_events,
+        "events_per_second": round(result.wall_clock_events / wall, 1) if wall > 0 else None,
+        "num_finished": result.summary.num_finished,
+    }
+    return engine, caches
+
+
+def _sweep_combos(quick: bool):
+    num_requests = 16 if quick else 64
+    spec = DeploymentSpec.from_dict(
+        {
+            "model": "llama-13b",
+            "system": {"name": "hetis"},
+            "cluster": {"kind": "small"},
+            "workload": {
+                "dataset": "sharegpt",
+                "request_rate": 6.0,
+                "num_requests": num_requests,
+                "seed": 0,
+            },
+        }
+    )
+    combos = expand_grid(
+        spec, {"workload.request_rate": [4.0, 8.0], "workload.seed": [0, 1]}
+    )
+    desc = f"hetis/llama-13b/sharegpt on 'small', rate x seed grid, n={num_requests}"
+    return combos, desc
+
+
+def _rows(results) -> list:
+    for res in results:
+        if res.error is not None:
+            raise SystemExit(f"bench sweep point {res.label} failed: {res.error}")
+    return [res.row for res in results]
+
+
+def bench_sweep(quick: bool, parallel_jobs: int) -> dict:
+    combos, desc = _sweep_combos(quick)
+
+    t0 = time.perf_counter()
+    serial_rows = _rows(SweepRunner(jobs=1).run(combos))
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_rows = _rows(SweepRunner(jobs=parallel_jobs).run(combos))
+    parallel_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as cache_dir:
+        t0 = time.perf_counter()
+        cold_results = SweepRunner(jobs=1, cache_dir=cache_dir).run(combos)
+        cold_s = time.perf_counter() - t0
+        warm_runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        t0 = time.perf_counter()
+        warm_results = warm_runner.run(combos)
+        warm_s = time.perf_counter() - t0
+        cache_hits, cache_misses = warm_runner.cache.hits, warm_runner.cache.misses
+    if not all(r.cached for r in warm_results):
+        raise SystemExit("bench: cache-hit rerun unexpectedly re-simulated points")
+
+    return {
+        "workload": desc,
+        "points": len(combos),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_jobs": parallel_jobs,
+        "parallel_seconds": round(parallel_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "cache_cold_seconds": round(cold_s, 4),
+        "cache_warm_seconds": round(warm_s, 4),
+        "cache_warm_fraction_of_cold": round(warm_s / cold_s, 4) if cold_s > 0 else None,
+        "cache_rerun_hits": cache_hits,
+        "cache_rerun_misses": cache_misses,
+        "rows_bit_identical": parallel_rows == serial_rows,
+        "cache_rows_bit_identical": _rows(cold_results) == serial_rows
+        and _rows(warm_results) == serial_rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument("--jobs", type=int, default=4, help="pool width for the parallel leg")
+    parser.add_argument(
+        "--out", default=str(ROOT / "BENCH_runner.json"), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    print(f"== engine workload ({'quick' if args.quick else 'full'}) ==")
+    engine, caches = bench_engine(args.quick)
+    print(
+        f"  {engine['workload']}: {engine['wall_seconds']}s, "
+        f"{engine['events']} events ({engine['events_per_second']}/s)"
+    )
+    for name, stats in caches.items():
+        print(f"  lru {name}: hit rate {stats['hit_rate']}, size {stats['currsize']}/{stats['maxsize']}")
+
+    print(f"== sweep grid: serial vs jobs={args.jobs} vs cache rerun ==")
+    sweep = bench_sweep(args.quick, args.jobs)
+    print(
+        f"  {sweep['points']} points: serial {sweep['serial_seconds']}s, "
+        f"parallel {sweep['parallel_seconds']}s (speedup {sweep['parallel_speedup']}x), "
+        f"cache rerun {sweep['cache_warm_seconds']}s "
+        f"({sweep['cache_warm_fraction_of_cold']} of cold)"
+    )
+
+    payload = {
+        "benchmark": "parallel-experiment-runner",
+        "quick": args.quick,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "engine": engine,
+        "lru_caches": caches,
+        "sweep": sweep,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    # Determinism is the gate; wall-clock numbers are recorded, not enforced.
+    if not sweep["rows_bit_identical"] or not sweep["cache_rows_bit_identical"]:
+        print("bench FAILED: parallel/cached rows diverge from the serial run", file=sys.stderr)
+        return 1
+    if sweep["parallel_speedup"] is not None and sweep["parallel_speedup"] < 1.0:
+        print(
+            f"note: parallel leg slower than serial ({sweep['parallel_speedup']}x) -- "
+            f"expected on boxes with few cores (this one reports {os.cpu_count()})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

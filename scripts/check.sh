@@ -19,10 +19,17 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # Every checked-in sample config must still parse and build (no simulation):
 # a config that drifts from the spec schema fails fast, here and in CI.
-echo "== validating checked-in deployment configs (repro run --dry-run) =="
+# Experiment configs (an [experiment] section bundling a deployment with grid
+# axes) validate through the experiment driver; plain deployment specs
+# through `repro run`.
+echo "== validating checked-in deployment configs (--dry-run) =="
 shopt -s nullglob
 for cfg in examples/configs/*.json examples/configs/*.toml; do
-    python -m repro run "$cfg" --dry-run >/dev/null
+    if grep -Eq '^\[experiment\]|"experiment"[[:space:]]*:' "$cfg" 2>/dev/null; then
+        python -m repro experiment "$cfg" --dry-run >/dev/null
+    else
+        python -m repro run "$cfg" --dry-run >/dev/null
+    fi
     echo "  $cfg OK"
 done
 shopt -u nullglob
@@ -49,5 +56,20 @@ else
     echo "== full tier: pytest (pytest-cov not installed; coverage floor skipped) =="
     python -m pytest -q
 fi
+
+# Parallel-runner smoke test: a real 2-job pool sweep through the CLI.  The
+# runner's own determinism suite runs in the fast tier; this catches
+# environment-level pool breakage (start method, pickling) that unit mocks
+# cannot.
+echo "== parallel sweep smoke test (--jobs 2) =="
+python -m repro sweep examples/configs/multi_replica.json \
+    --grid workload.seed=0,1 --set workload.num_requests=8 --jobs 2 >/dev/null
+echo "  2-job pool sweep OK"
+
+# Perf trajectory: refresh BENCH_runner.json with CI-sized measurements.  The
+# timing numbers are recorded, not thresholded (CI boxes are noisy); the
+# script itself gates on parallel/cached rows being bit-identical to serial.
+echo "== perf trajectory: scripts/bench.py --quick =="
+python scripts/bench.py --quick
 
 echo "all tiers passed"

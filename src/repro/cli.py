@@ -1,6 +1,6 @@
 """Command-line interface for the Hetis reproduction.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 ``plan``
     Run the Parallelizer on a described cluster and print the resulting
@@ -23,6 +23,14 @@ Five subcommands cover the common workflows:
     Expand a config over ``--grid key=v1,v2,...`` axes (Cartesian product),
     run every deployment, and print/write a CSV or JSON results table -- the
     substrate for parameter studies like the Fig.-14 elasticity experiment.
+    ``--jobs N`` fans the points out over N worker processes (results stay
+    bit-identical to the serial run); ``--cache DIR`` re-uses previously
+    computed rows keyed by a content hash of each deployment spec.
+
+``experiment``
+    Run a spec-driven experiment config: one TOML/JSON file bundling a base
+    deployment with its grid axes (see ``examples/configs/fig14_grid.toml``),
+    executed through the same parallel, cached runner as ``sweep``.
 
 Examples
 --------
@@ -36,7 +44,8 @@ Examples
     python -m repro run examples/configs/elastic_cluster.toml
     python -m repro run deployment.json --dry-run
     python -m repro sweep deployment.json --grid workload.request_rate=2,4,8 \
-        --grid router.name=round-robin,least-kv --out sweep.csv
+        --grid router.name=round-robin,least-kv --out sweep.csv --jobs 4 --cache .sweep-cache
+    python -m repro experiment examples/configs/fig14_grid.toml --jobs 4
 """
 
 from __future__ import annotations
@@ -66,6 +75,10 @@ from repro.config import (
 )
 from repro.core.elasticity import make_admission, make_autoscaler
 from repro.core.parallelizer import Parallelizer, WorkloadHint
+
+# The experiment runner/driver are imported lazily inside the sweep and
+# experiment commands: importing repro.experiments eagerly pulls in every
+# figure module, which `repro serve`/`run`/`plan` (and --help) never need.
 from repro.hardware.cluster import Cluster, ClusterBuilder, parse_blueprint
 from repro.models.spec import get_model_spec
 from repro.sim.engine import SimulationResult
@@ -212,15 +225,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--set", action="append", default=None, metavar="KEY=VALUE", dest="overrides",
         help="fixed override applied to every point before the grid expands",
     )
-    sweep.add_argument(
+    _add_runner_args(sweep)
+
+    exp_p = sub.add_parser(
+        "experiment",
+        help="run a spec-driven experiment config (base deployment + grid axes)",
+    )
+    exp_p.add_argument(
+        "config",
+        help="path to an experiment config (.json or .toml) with [experiment] "
+             "and [deployment] sections",
+    )
+    exp_p.add_argument(
+        "--dry-run", action="store_true",
+        help="validate the config and list the grid points without running",
+    )
+    _add_runner_args(exp_p)
+    return parser
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the grid-running subcommands (``sweep``, ``experiment``)."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="run grid points over N worker processes (default 1 = serial; "
+             "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="cache result rows in DIR keyed by a content hash of each "
+             "deployment spec; repeat runs and resumed sweeps load cached "
+             "rows instead of re-simulating (default: no cache)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="run every point even if some fail, report failures at the end "
+             "(default: stop at the first failing point)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the results table to PATH (.csv or .json)",
     )
-    sweep.add_argument(
+    parser.add_argument(
         "--format", default=None, choices=["csv", "json"],
         help="format for --out (default: inferred from the extension)",
     )
-    return parser
 
 
 def _format_summary(name: str, result: SimulationResult) -> str:
@@ -468,31 +517,14 @@ def cmd_run(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
-#: Metric columns of the sweep results table, in print order.
-_SWEEP_METRICS = (
-    "mean_normalized_latency",
-    "p95_normalized_latency",
-    "p95_ttft",
-    "p95_tpot",
-    "throughput_rps",
-    "throughput_tokens_per_s",
-    "slo_attainment",
-    "goodput_rps",
-    "num_finished",
-    "num_rejected",
-)
-
-
-def _sweep_row(overrides: Dict[str, Any], result: SimulationResult) -> Dict[str, Any]:
-    s = result.summary
-    row = dict(overrides)
-    for name in _SWEEP_METRICS:
-        row[name] = getattr(s, name)
-    row["num_dropped"] = result.num_dropped
-    return row
-
-
-def _write_sweep_output(rows: List[Dict[str, Any]], path: str, fmt: Optional[str]) -> None:
+def _write_sweep_output(
+    rows: List[Dict[str, Any]],
+    path: str,
+    fmt: Optional[str],
+    fieldnames: Optional[List[str]] = None,
+) -> None:
+    """Write the results table; ``fieldnames`` keeps the CSV header present
+    (axis + metric columns) even when the sweep produced zero rows."""
     if fmt is None:
         fmt = "json" if path.lower().endswith(".json") else "csv"
     if fmt == "json":
@@ -500,11 +532,61 @@ def _write_sweep_output(rows: List[Dict[str, Any]], path: str, fmt: Optional[str
             json.dump(rows, fh, indent=2)
             fh.write("\n")
     else:
-        fieldnames = list(rows[0]) if rows else []
+        if fieldnames is None:
+            fieldnames = list(rows[0]) if rows else []
         with open(path, "w", newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=fieldnames)
             writer.writeheader()
             writer.writerows(rows)
+
+
+def _run_grid_points(combos, axis_names: List[str], args: argparse.Namespace, out) -> int:
+    """Execute expanded ``(overrides, spec)`` points and print/write the table.
+
+    Shared back-end of ``sweep`` and ``experiment``: points run through the
+    parallel, cached :class:`~repro.experiments.runner.SweepRunner`
+    (``--jobs`` / ``--cache``), results print in deterministic grid order, and
+    a failing point aborts with its override label -- or, under
+    ``--keep-going``, is reported and skipped in the output table.
+    """
+    from repro.experiments.runner import SweepRunner, TABLE_METRICS, table_row
+
+    keep_going = args.keep_going
+    runner = SweepRunner(
+        jobs=args.jobs, cache_dir=args.cache, stop_on_error=not keep_going
+    )
+    results = runner.run(combos)
+    rows: List[Dict[str, Any]] = []
+    num_failed = 0
+    for res in results:
+        if res.skipped:
+            continue
+        if res.error is not None:
+            if not keep_going:
+                raise SystemExit(f"error: sweep point {res.label}: {res.error}")
+            num_failed += 1
+            print(f"  {res.label}: FAILED ({res.error})", file=out)
+            continue
+        rows.append(table_row(res.overrides, res.row))
+        row = res.row
+        cached = "  [cached]" if res.cached else ""
+        print(
+            f"  {res.label}: mean {row['mean_normalized_latency']:.4f} s/tok, "
+            f"p95 TTFT {row['p95_ttft']:.3f}s, {row['throughput_tokens_per_s']:.1f} tok/s, "
+            f"goodput {row['goodput_rps']:.2f} req/s{cached}",
+            file=out,
+        )
+    if args.out:
+        fieldnames = axis_names + list(TABLE_METRICS) + ["num_dropped"]
+        _write_sweep_output(rows, args.out, args.format, fieldnames=fieldnames)
+        print(f"wrote {len(rows)} row(s) to {args.out}", file=out)
+    if num_failed:
+        print(
+            f"{num_failed} of {len(results)} point(s) failed (see FAILED lines above)",
+            file=out,
+        )
+        return 1
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -520,25 +602,33 @@ def cmd_sweep(args: argparse.Namespace, out=sys.stdout) -> int:
         f"({', '.join(axis_names) if axis_names else 'no grid axes'})",
         file=out,
     )
-    rows: List[Dict[str, Any]] = []
-    for overrides, point in combos:
-        label = ", ".join(f"{k}={v}" for k, v in overrides.items()) or "(base)"
-        try:
-            result = build(point).run()
-        except (ValueError, TypeError, MemoryError) as exc:
-            raise SystemExit(f"error: sweep point {label}: {exc}") from None
-        rows.append(_sweep_row(overrides, result))
-        s = result.summary
-        print(
-            f"  {label}: mean {s.mean_normalized_latency:.4f} s/tok, "
-            f"p95 TTFT {s.p95_ttft:.3f}s, {s.throughput_tokens_per_s:.1f} tok/s, "
-            f"goodput {s.goodput_rps:.2f} req/s",
-            file=out,
-        )
-    if args.out:
-        _write_sweep_output(rows, args.out, args.format)
-        print(f"wrote {len(rows)} row(s) to {args.out}", file=out)
-    return 0
+    return _run_grid_points(combos, axis_names, args, out)
+
+
+def cmd_experiment(args: argparse.Namespace, out=sys.stdout) -> int:
+    from repro.experiments.driver import load_experiment
+    from repro.experiments.runner import overrides_label
+
+    try:
+        experiment = load_experiment(args.config)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    combos = experiment.expand()
+    axis_names = [key for key, _ in experiment.grid]
+    suffix = f" -- {experiment.description}" if experiment.description else ""
+    print(f"experiment {experiment.name}{suffix}", file=out)
+    print(f"base: {experiment.base.describe()}", file=out)
+    print(
+        f"{len(combos)} point(s) over "
+        f"{', '.join(axis_names) if axis_names else 'no grid axes'}",
+        file=out,
+    )
+    if args.dry_run:
+        for overrides, _ in combos:
+            print(f"  {overrides_label(overrides)}", file=out)
+        print("config OK (dry run, nothing simulated)", file=out)
+        return 0
+    return _run_grid_points(combos, axis_names, args, out)
 
 
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
@@ -554,6 +644,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return cmd_run(args, out)
     if args.command == "sweep":
         return cmd_sweep(args, out)
+    if args.command == "experiment":
+        return cmd_experiment(args, out)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
 
 

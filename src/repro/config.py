@@ -61,6 +61,47 @@ class ConfigError(ValueError):
     """A deployment spec failed validation; the message names the field."""
 
 
+def load_config_mapping(path) -> Dict[str, Any]:
+    """Read a ``.json`` or ``.toml`` file into a plain mapping.
+
+    Shared by :meth:`DeploymentSpec.load` and the experiment driver
+    (:mod:`repro.experiments.driver`), so both config flavours parse files --
+    and report malformed ones -- identically.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"config file {str(path)!r} does not exist")
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}: invalid JSON ({exc})") from None
+    elif suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+            try:
+                import tomli as tomllib  # type: ignore[no-redef]
+            except ModuleNotFoundError:
+                raise ConfigError(
+                    f"{path}: TOML configs need Python 3.11+ (tomllib) or "
+                    "the 'tomli' package; rewrite the config as JSON instead"
+                ) from None
+        try:
+            data = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{path}: invalid TOML ({exc})") from None
+    else:
+        raise ConfigError(
+            f"config file {str(path)!r} has unsupported extension "
+            f"{suffix or '(none)'!r}; use .json or .toml"
+        )
+    if not isinstance(data, Mapping):
+        raise ConfigError(f"{path}: top level must be a mapping, got {type(data).__name__}")
+    return dict(data)
+
+
 def _check(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigError(message)
@@ -595,35 +636,7 @@ class DeploymentSpec:
     @classmethod
     def load(cls, path) -> "DeploymentSpec":
         """Load a spec from a ``.json`` or ``.toml`` file."""
-        path = Path(path)
-        if not path.exists():
-            raise ConfigError(f"config file {str(path)!r} does not exist")
-        suffix = path.suffix.lower()
-        if suffix == ".json":
-            try:
-                data = json.loads(path.read_text())
-            except json.JSONDecodeError as exc:
-                raise ConfigError(f"{path}: invalid JSON ({exc})") from None
-        elif suffix == ".toml":
-            try:
-                import tomllib
-            except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
-                try:
-                    import tomli as tomllib  # type: ignore[no-redef]
-                except ModuleNotFoundError:
-                    raise ConfigError(
-                        f"{path}: TOML configs need Python 3.11+ (tomllib) or "
-                        "the 'tomli' package; rewrite the config as JSON instead"
-                    ) from None
-            try:
-                data = tomllib.loads(path.read_text())
-            except tomllib.TOMLDecodeError as exc:
-                raise ConfigError(f"{path}: invalid TOML ({exc})") from None
-        else:
-            raise ConfigError(
-                f"config file {str(path)!r} has unsupported extension "
-                f"{suffix or '(none)'!r}; use .json or .toml"
-            )
+        data = load_config_mapping(path)
         try:
             return cls.from_dict(data)
         except ConfigError as exc:

@@ -23,6 +23,11 @@ Fig. 16   :func:`repro.experiments.fig16.run_theta_sensitivity` /
 Sec. 7.4  :func:`repro.experiments.accuracy.run_modeling_accuracy`,
           :func:`repro.experiments.search_overhead.run_search_overhead`
 ========  =============================================================
+
+Grids of independent points execute through the parallel, cached
+:class:`repro.experiments.runner.SweepRunner`; whole spec-driven studies
+(base deployment + grid axes in one TOML/JSON file) run through
+:mod:`repro.experiments.driver`.
 """
 
 from repro.experiments import (  # noqa: F401
@@ -38,6 +43,8 @@ from repro.experiments import (  # noqa: F401
     accuracy,
     search_overhead,
     ablation,
+    runner,
+    driver,
 )
 
 __all__ = [
@@ -53,4 +60,6 @@ __all__ = [
     "accuracy",
     "search_overhead",
     "ablation",
+    "runner",
+    "driver",
 ]

@@ -17,7 +17,6 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.api import build_cluster, run_system, build_system
 from repro.core.attention_parallel import (
     batchwise_transfer_overhead,
     headwise_transfer_overhead,
@@ -27,7 +26,6 @@ from repro.core.parallelizer import Parallelizer, WorkloadHint
 from repro.hardware.cluster import ClusterBuilder, paper_cluster
 from repro.models.spec import get_model_spec
 from repro.solvers.head_dispatch import HeadDispatchProblem, solve_greedy, solve_lp
-from repro.workloads.trace import generate_trace
 
 
 @dataclass(frozen=True)
@@ -159,14 +157,32 @@ def run_dynamic_parallelism_ablation(
     request_rate: float = 8.0,
     num_requests: int = 60,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> DynamicParallelismBenefit:
-    """End-to-end benefit of Hetis over the heterogeneity-oblivious reference."""
+    """End-to-end benefit of Hetis over the heterogeneity-oblivious reference.
+
+    The two end-to-end runs are independent simulations, so they go through
+    the parallel experiment runner (``jobs=1`` is the bit-identical serial
+    path; ``jobs=2`` runs both systems concurrently).
+    """
+    from repro.experiments.e2e import serving_spec
+    from repro.experiments.runner import SweepRunner
+
+    systems = ("hetis", "static-tp")
+    points = [
+        (
+            {"system.name": system},
+            serving_spec(system, model, dataset, request_rate, num_requests, seed),
+        )
+        for system in systems
+    ]
+    results = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(points)
     latencies = {}
-    for system in ("hetis", "static-tp"):
-        cluster = build_cluster("paper")
-        serving = build_system(system, cluster, model, dataset=dataset)
-        trace = generate_trace(dataset, request_rate, num_requests, seed=seed)
-        latencies[system] = run_system(serving, trace).summary.mean_normalized_latency
+    for system, res in zip(systems, results):
+        if res.error is not None:
+            raise RuntimeError(f"ablation point {res.label} failed: {res.error}")
+        latencies[system] = res.row["mean_normalized_latency"]
     return DynamicParallelismBenefit(
         hetis_latency=latencies["hetis"], static_latency=latencies["static-tp"]
     )

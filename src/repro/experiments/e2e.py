@@ -11,12 +11,12 @@ All three reuse :func:`run_serving` below.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.api import build_cluster, build_system, run_system
+from repro.api import build
+from repro.config import ClusterSpec, DeploymentSpec, SystemSpec, WorkloadSpec
+from repro.experiments.runner import PointResult, SweepRunner, summary_row
 from repro.hardware.cluster import Cluster
-from repro.sim.engine import SimulationResult
-from repro.workloads.trace import generate_trace
 
 # Request-rate grids of Figs. 8-10 (req/s), per model and dataset.
 PAPER_RATE_GRID: Dict[str, Dict[str, Sequence[float]]] = {
@@ -76,6 +76,56 @@ class RateSweep:
         return max(feasible) if feasible else 0.0
 
 
+def serving_spec(
+    system: str,
+    model: str,
+    dataset: str,
+    request_rate: float,
+    num_requests: int = 80,
+    seed: int = 0,
+    cluster_kind: str = "paper",
+) -> DeploymentSpec:
+    """The :class:`DeploymentSpec` of one (system, model, dataset, rate) cell."""
+    return DeploymentSpec(
+        model=model,
+        system=SystemSpec(name=system),
+        cluster=ClusterSpec(kind=cluster_kind),
+        workload=WorkloadSpec(
+            dataset=dataset,
+            request_rate=request_rate,
+            num_requests=num_requests,
+            seed=seed,
+        ),
+    )
+
+
+def _point_from_row(
+    system: str, model: str, dataset: str, request_rate: float, row: Mapping[str, Any]
+) -> ServingPoint:
+    """Build a :class:`ServingPoint` from a runner summary row."""
+    return ServingPoint(
+        system=system,
+        model=model,
+        dataset=dataset,
+        request_rate=request_rate,
+        normalized_latency=row["mean_normalized_latency"],
+        p95_normalized_latency=row["p95_normalized_latency"],
+        p95_ttft=row["p95_ttft"],
+        p95_tpot=row["p95_tpot"],
+        p95_mlp=row["p95_module_latency"].get("mlp", 0.0),
+        p95_attention=row["p95_module_latency"].get("attention", 0.0),
+        throughput_rps=row["throughput_rps"],
+        available_cache_gb=row["available_cache_bytes"] / 1e9,
+        num_finished=row["num_finished"],
+    )
+
+
+def _require_rows(results: Sequence[PointResult], what: str) -> None:
+    for res in results:
+        if res.error is not None:
+            raise RuntimeError(f"{what} point {res.label} failed: {res.error}")
+
+
 def run_serving(
     system: str,
     model: str,
@@ -86,27 +136,17 @@ def run_serving(
     cluster: Optional[Cluster] = None,
     **system_kwargs,
 ) -> ServingPoint:
-    """Run one (system, model, dataset, rate) cell and summarise it."""
-    cluster = cluster or build_cluster("paper")
-    serving = build_system(system, cluster, model, dataset=dataset, **system_kwargs)
-    trace = generate_trace(dataset, request_rate, num_requests, seed=seed)
-    result: SimulationResult = run_system(serving, trace)
-    s = result.summary
-    return ServingPoint(
-        system=system,
-        model=model,
-        dataset=dataset,
-        request_rate=request_rate,
-        normalized_latency=s.mean_normalized_latency,
-        p95_normalized_latency=s.p95_normalized_latency,
-        p95_ttft=s.p95_ttft,
-        p95_tpot=s.p95_tpot,
-        p95_mlp=s.p95_module_latency.get("mlp", 0.0),
-        p95_attention=s.p95_module_latency.get("attention", 0.0),
-        throughput_rps=s.throughput_rps,
-        available_cache_gb=result.available_cache_bytes / 1e9,
-        num_finished=s.num_finished,
-    )
+    """Run one (system, model, dataset, rate) cell and summarise it.
+
+    ``cluster`` and ``system_kwargs`` are live-object escape hatches (a
+    prebuilt pool, a Parallelizer hint); they travel through
+    :func:`repro.api.build`'s override channel, which is why this single-point
+    helper always runs in-process.  Fan whole grids out with
+    :func:`run_rate_sweep` / :func:`run_tail_latency` instead.
+    """
+    spec = serving_spec(system, model, dataset, request_rate, num_requests, seed)
+    result = build(spec, cluster=cluster, system_kwargs=system_kwargs or None).run()
+    return _point_from_row(system, model, dataset, request_rate, summary_row(result))
 
 
 def run_rate_sweep(
@@ -116,18 +156,33 @@ def run_rate_sweep(
     rates: Optional[Sequence[float]] = None,
     num_requests: int = 80,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, RateSweep]:
-    """Regenerate one panel of Fig. 8/9/10: latency-vs-rate for each system."""
-    rates = rates if rates is not None else PAPER_RATE_GRID[model][dataset]
-    sweeps: Dict[str, RateSweep] = {}
-    for system in systems:
-        sweep = RateSweep(system=system, model=model, dataset=dataset)
-        for rate in rates:
-            # A fresh cluster per run: device weight assignments are mutable state.
-            sweep.points.append(
-                run_serving(system, model, dataset, rate, num_requests=num_requests, seed=seed)
-            )
-        sweeps[system] = sweep
+    """Regenerate one panel of Fig. 8/9/10: latency-vs-rate for each system.
+
+    Every (system, rate) cell is independent, so the grid fans out over
+    :class:`~repro.experiments.runner.SweepRunner`: ``jobs`` worker processes
+    (1 = the bit-identical serial path) and an optional on-disk result cache
+    shared across figure reruns.  Each run builds a fresh cluster in its own
+    process -- device weight assignments are mutable state.
+    """
+    rates = list(rates if rates is not None else PAPER_RATE_GRID[model][dataset])
+    cells: List[Tuple[str, float]] = [(s, r) for s in systems for r in rates]
+    points = [
+        (
+            {"system.name": system, "workload.request_rate": rate},
+            serving_spec(system, model, dataset, rate, num_requests, seed),
+        )
+        for system, rate in cells
+    ]
+    results = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(points)
+    _require_rows(results, "rate-sweep")
+    sweeps: Dict[str, RateSweep] = {
+        system: RateSweep(system=system, model=model, dataset=dataset) for system in systems
+    }
+    for (system, rate), res in zip(cells, results):
+        sweeps[system].points.append(_point_from_row(system, model, dataset, rate, res.row))
     return sweeps
 
 
@@ -137,18 +192,29 @@ def run_tail_latency(
     systems: Sequence[str] = ("hetis", "hexgen", "splitwise"),
     num_requests: int = 80,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, ServingPoint]]:
     """Regenerate Fig. 12 (P95 TTFT / TPOT at the paper's unsaturated rates).
 
-    Returns ``{dataset: {system: point}}``.
+    Returns ``{dataset: {system: point}}``; the (dataset, system) cells run
+    through the same parallel, cached runner as :func:`run_rate_sweep`.
     """
-    out: Dict[str, Dict[str, ServingPoint]] = {}
-    for dataset in datasets:
-        rate = PAPER_TAIL_RATES[dataset]
-        out[dataset] = {
-            system: run_serving(system, model, dataset, rate, num_requests=num_requests, seed=seed)
-            for system in systems
-        }
+    cells: List[Tuple[str, str, float]] = [
+        (dataset, system, PAPER_TAIL_RATES[dataset]) for dataset in datasets for system in systems
+    ]
+    points = [
+        (
+            {"workload.dataset": dataset, "system.name": system},
+            serving_spec(system, model, dataset, rate, num_requests, seed),
+        )
+        for dataset, system, rate in cells
+    ]
+    results = SweepRunner(jobs=jobs, cache_dir=cache_dir).run(points)
+    _require_rows(results, "tail-latency")
+    out: Dict[str, Dict[str, ServingPoint]] = {dataset: {} for dataset in datasets}
+    for (dataset, system, rate), res in zip(cells, results):
+        out[dataset][system] = _point_from_row(system, model, dataset, rate, res.row)
     return out
 
 
@@ -158,10 +224,20 @@ def run_module_latency(
     systems: Sequence[str] = ("hetis", "hexgen", "splitwise"),
     num_requests: int = 80,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, ServingPoint]]:
     """Regenerate Fig. 13 (P95 decode MLP / Attention module latency).
 
     The measurements come from the same runs as Fig. 12, so this simply reuses
     :func:`run_tail_latency`; the caller reads ``p95_mlp`` / ``p95_attention``.
     """
-    return run_tail_latency(model=model, datasets=datasets, systems=systems, num_requests=num_requests, seed=seed)
+    return run_tail_latency(
+        model=model,
+        datasets=datasets,
+        systems=systems,
+        num_requests=num_requests,
+        seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )

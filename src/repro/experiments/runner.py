@@ -1,0 +1,485 @@
+"""Parallel, cached execution of independent experiment points.
+
+The paper's evaluation is dozens of independent ``(system, model, dataset,
+rate)`` simulation points -- the Figs. 8-10 rate sweeps, the Fig. 14
+elasticity grids, Table 1 -- and every point is a pure function of its
+serializable description.  :class:`SweepRunner` exploits exactly that:
+
+* **Process-pool fan-out.**  Points travel to workers as plain-dict payloads
+  (a :meth:`DeploymentSpec.to_dict` tree -- never live systems, clusters, or
+  recorders); each worker rebuilds the deployment via
+  ``api.build(DeploymentSpec.from_dict(payload)).run()`` and sends back a
+  compact summary-row dict.  Results are always assembled in submission
+  order, so ``jobs`` changes wall-clock only, never output.
+* **Serial fallback.**  ``jobs=1`` runs the same task functions in-process
+  with no executor at all -- bit-identical to the historical one-point-at-a-
+  time loops (the metric snapshot gates enforce this).
+* **Per-point error capture.**  A failing point produces a
+  :class:`PointResult` whose ``error`` names the exception and whose
+  ``label`` names the override combination, instead of a traceback that
+  loses which grid cell died.
+* **Spec-hash result cache.**  With ``cache_dir`` set, every finished row is
+  written to disk keyed by a stable content hash of ``(task kind, payload)``;
+  re-running a figure (or resuming an interrupted sweep) loads cached rows
+  instead of re-simulating.
+
+Task kinds are a plugin registry (:data:`TASK_KINDS`), so any experiment
+whose unit of work is (picklable payload in, JSON-able row out) can fan out
+through the same runner -- ``"deployment"`` covers the serving simulations,
+``"table1-device"`` the roofline profiling rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import DeploymentSpec
+from repro.registry import Registry
+from repro.sim.engine import SimulationResult
+
+#: Bump when the row schema (or the meaning of a payload) changes: the cache
+#: key folds the version in, so stale cache directories become misses instead
+#: of silently serving rows with missing fields.
+CACHE_VERSION = 1
+
+#: Scalar SummaryStats fields copied into every deployment summary row.
+SUMMARY_FIELDS: Tuple[str, ...] = (
+    "num_finished",
+    "duration",
+    "mean_normalized_latency",
+    "p95_normalized_latency",
+    "mean_ttft",
+    "p95_ttft",
+    "mean_tpot",
+    "p95_tpot",
+    "throughput_rps",
+    "throughput_tokens_per_s",
+    "total_preemptions",
+    "num_rejected",
+    "num_deferrals",
+    "slo_attainment",
+    "goodput_rps",
+    "rejection_rate",
+)
+
+
+def summary_row(result: SimulationResult) -> Dict[str, Any]:
+    """Compact, JSON-able summary of one simulation (what workers return).
+
+    Recorders and per-request metric records never cross the process
+    boundary: they are large, and everything the figure tables need is in the
+    summary block plus the run-level counters below.
+    """
+    s = result.summary
+    row: Dict[str, Any] = {name: getattr(s, name) for name in SUMMARY_FIELDS}
+    row["p95_module_latency"] = dict(s.p95_module_latency)
+    row["mean_module_latency"] = dict(s.mean_module_latency)
+    row["num_dropped"] = result.num_dropped
+    row["available_cache_bytes"] = result.available_cache_bytes
+    row["wall_clock_events"] = result.wall_clock_events
+    return row
+
+
+#: Metric columns of sweep/experiment results tables, in print order.  The CLI
+#: ``sweep`` command and the experiment driver share this schema, so the CSV a
+#: parallel run writes is byte-identical to the serial one.
+TABLE_METRICS: Tuple[str, ...] = (
+    "mean_normalized_latency",
+    "p95_normalized_latency",
+    "p95_ttft",
+    "p95_tpot",
+    "throughput_rps",
+    "throughput_tokens_per_s",
+    "slo_attainment",
+    "goodput_rps",
+    "num_finished",
+    "num_rejected",
+)
+
+
+def table_row(overrides: Mapping[str, Any], row: Mapping[str, Any]) -> Dict[str, Any]:
+    """One results-table row: grid overrides first, then the metric columns."""
+    out = dict(overrides)
+    for name in TABLE_METRICS:
+        out[name] = row[name]
+    out["num_dropped"] = row["num_dropped"]
+    return out
+
+
+def overrides_label(overrides: Mapping[str, Any]) -> str:
+    """Human-readable name of one grid cell (``"(base)"`` for the bare spec)."""
+    return ", ".join(f"{k}={v}" for k, v in overrides.items()) or "(base)"
+
+
+# ------------------------------------------------------------------ task kinds
+
+#: Registry of task-kind functions: picklable payload dict in, JSON-able row
+#: dict out.  Workers look the function up by name, so registration must
+#: happen at import time of a module the worker imports (this one, or a
+#: module imported from it).
+TASK_KINDS: Registry[Callable[[Mapping[str, Any]], Dict[str, Any]]] = Registry("sweep task kind")
+
+
+@TASK_KINDS.register("deployment", help="simulate a DeploymentSpec dict, return its summary row")
+def _run_deployment(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    # Imported lazily so a spawned worker only pays for what it runs.
+    from repro.api import build
+
+    spec = DeploymentSpec.from_dict(payload)
+    return summary_row(build(spec).run())
+
+
+@TASK_KINDS.register("table1-device", help="roofline-profile one GPU type for Table 1")
+def _run_table1_device(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    # Lazy import: table1 imports this module for SweepRunner, so importing it
+    # here at module scope would be a cycle.  Registering the kind *here*
+    # (rather than in table1.py) guarantees every worker that can unpickle
+    # ``_pool_worker`` can also resolve the kind, even under a spawn start
+    # method where workers import only this module.
+    from repro.experiments.table1 import device_row
+
+    return device_row(**payload)
+
+
+def _execute_task(kind: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    return TASK_KINDS.require(kind)(payload)
+
+
+def _pool_worker(
+    index: int, kind: str, payload: Mapping[str, Any]
+) -> Tuple[int, Optional[Dict[str, Any]], Optional[str]]:
+    """Run one task in a worker process, never letting an exception escape.
+
+    Exceptions are flattened to ``"Type: message"`` strings: some exception
+    objects do not survive pickling back to the parent, and the sweep wants a
+    per-point diagnosis either way.
+    """
+    try:
+        return index, _execute_task(kind, payload), None
+    except BaseException as exc:  # noqa: BLE001 - a sweep point must never kill the sweep
+        return index, None, f"{type(exc).__name__}: {exc}"
+
+
+# ------------------------------------------------------------------ disk cache
+
+
+class ResultCache:
+    """Content-addressed row store under one directory.
+
+    The key is a SHA-256 of the canonical JSON of ``(CACHE_VERSION, kind,
+    payload)``; the stored file carries the payload alongside the row, so a
+    (vanishingly unlikely) hash collision or a corrupted file degrades to a
+    cache miss, never to a wrong row.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(kind: str, payload: Mapping[str, Any]) -> str:
+        canonical = json.dumps(
+            {"version": CACHE_VERSION, "kind": kind, "payload": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str, kind: str, payload: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("kind") != kind
+            or data.get("payload") != _json_roundtrip(payload)
+            or not isinstance(data.get("row"), dict)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data["row"]
+
+    def store(
+        self, key: str, kind: str, payload: Mapping[str, Any], label: str, row: Mapping[str, Any]
+    ) -> None:
+        record = {
+            "version": CACHE_VERSION,
+            "kind": kind,
+            "label": label,
+            "payload": payload,
+            "row": row,
+        }
+        path = self._path(key)
+        # Per-writer temp name: concurrent sweeps sharing a cache directory
+        # (the advertised reuse pattern) each write their own file, and the
+        # rename is atomic, so a reader never sees a torn entry -- at worst
+        # the last writer wins with an identical row.
+        tmp = path.with_name(f"{key}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+        tmp.replace(path)
+
+
+def _json_roundtrip(payload: Mapping[str, Any]) -> Any:
+    """Payload as it looks after a JSON round-trip (tuples become lists)."""
+    return json.loads(json.dumps(payload))
+
+
+# ------------------------------------------------------------------ the runner
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work: a registered kind plus its payload."""
+
+    kind: str
+    payload: Mapping[str, Any]
+    label: str = ""
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PointResult:
+    """Outcome of one task, in the submission-order slot it was given.
+
+    Exactly one of ``row`` / ``error`` is set for an executed point; a point
+    skipped because an earlier serial point failed (``stop_on_error``) has
+    both ``None`` and ``skipped=True``.
+    """
+
+    index: int
+    label: str
+    overrides: Dict[str, Any]
+    row: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cached: bool = False
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.row is not None
+
+
+class SweepRunner:
+    """Execute independent experiment points, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs everything serially
+        in-process -- no executor, no pickling -- which is bit-identical to
+        the historical per-point loops.  The pool never grows beyond the
+        number of uncached points.
+    cache_dir:
+        Opt-in disk cache directory (created on demand).  ``None`` disables
+        caching entirely.
+    stop_on_error:
+        In serial mode, stop executing after the first failing point (the
+        remaining results come back ``skipped``).  In parallel mode, a
+        failure observed during the in-order drain cancels every point that
+        has not started yet (those come back ``skipped``); points already
+        running -- or drained before the failure is observed -- finish and
+        keep their results.  Result order is unaffected either way.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        stop_on_error: bool = True,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ValueError(f"jobs must be an integer >= 1, got {jobs!r}")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stop_on_error = stop_on_error
+
+    # -- public entry points -----------------------------------------------------------
+
+    def run(
+        self, points: Sequence[Tuple[Mapping[str, Any], DeploymentSpec]]
+    ) -> List[PointResult]:
+        """Run ``(overrides, spec)`` points (the :func:`~repro.config.expand_grid`
+        shape) and return one :class:`PointResult` per point, in input order."""
+        tasks = []
+        for overrides, spec in points:
+            if not isinstance(spec, DeploymentSpec):
+                raise TypeError(
+                    f"sweep points carry DeploymentSpec objects, got {type(spec).__name__}"
+                )
+            tasks.append(
+                Task(
+                    kind="deployment",
+                    payload=spec.to_dict(),
+                    label=overrides_label(overrides),
+                    overrides=dict(overrides),
+                )
+            )
+        return self.run_tasks(tasks)
+
+    def map(
+        self,
+        kind: str,
+        payloads: Sequence[Mapping[str, Any]],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[PointResult]:
+        """Fan one registered task kind over many payloads (generic form)."""
+        if labels is not None and len(labels) != len(payloads):
+            raise ValueError(f"expected {len(payloads)} labels, got {len(labels)}")
+        tasks = [
+            Task(
+                kind=kind,
+                payload=payload,
+                label=labels[i] if labels is not None else f"{kind}[{i}]",
+            )
+            for i, payload in enumerate(payloads)
+        ]
+        return self.run_tasks(tasks)
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[PointResult]:
+        """Execute tasks (cache, then pool or serial); results in input order."""
+        results: List[Optional[PointResult]] = [None] * len(tasks)
+        pending: List[Tuple[int, Task, Optional[str]]] = []  # (index, task, cache key)
+
+        for idx, task in enumerate(tasks):
+            TASK_KINDS.resolve(task.kind)  # unknown kinds fail before any work runs
+            key = None
+            if self.cache is not None:
+                key = self.cache.key(task.kind, task.payload)
+                row = self.cache.load(key, task.kind, task.payload)
+                if row is not None:
+                    results[idx] = PointResult(
+                        index=idx,
+                        label=task.label,
+                        overrides=dict(task.overrides),
+                        row=row,
+                        cached=True,
+                    )
+                    continue
+            pending.append((idx, task, key))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(pending, results)
+            else:
+                self._run_pool(pending, results)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- execution strategies ----------------------------------------------------------
+
+    def _finish(
+        self,
+        results: List[Optional[PointResult]],
+        idx: int,
+        task: Task,
+        key: Optional[str],
+        row: Optional[Dict[str, Any]],
+        error: Optional[str],
+    ) -> None:
+        if row is not None and self.cache is not None and key is not None:
+            self.cache.store(key, task.kind, task.payload, task.label, row)
+        results[idx] = PointResult(
+            index=idx,
+            label=task.label,
+            overrides=dict(task.overrides),
+            row=row,
+            error=error,
+        )
+
+    def _run_serial(
+        self,
+        pending: Sequence[Tuple[int, Task, Optional[str]]],
+        results: List[Optional[PointResult]],
+    ) -> None:
+        failed = False
+        for idx, task, key in pending:
+            if failed:
+                results[idx] = PointResult(
+                    index=idx, label=task.label, overrides=dict(task.overrides), skipped=True
+                )
+                continue
+            try:
+                row: Optional[Dict[str, Any]] = _execute_task(task.kind, task.payload)
+                error: Optional[str] = None
+            # Exception, not BaseException: in-process, a KeyboardInterrupt or
+            # SystemExit must abort the whole sweep, not become a point error
+            # (the pool worker catches BaseException because it runs in a
+            # child process where propagation cannot unwind the parent).
+            except Exception as exc:
+                row, error = None, f"{type(exc).__name__}: {exc}"
+                failed = self.stop_on_error
+            self._finish(results, idx, task, key, row, error)
+
+    def _run_pool(
+        self,
+        pending: Sequence[Tuple[int, Task, Optional[str]]],
+        results: List[Optional[PointResult]],
+    ) -> None:
+        max_workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(_pool_worker, idx, task.kind, dict(task.payload))
+                for idx, task, _ in pending
+            ]
+            # Futures are consumed in submission order: completion order does
+            # not matter for correctness (each future knows its index), and
+            # draining deterministically keeps cache writes ordered too.
+            failed = False
+            for future, (idx, task, key) in zip(futures, pending):
+                if failed and future.cancel():
+                    # stop_on_error: not-yet-started work is dropped once a
+                    # failure has been observed; already-running points finish.
+                    results[idx] = PointResult(
+                        index=idx, label=task.label, overrides=dict(task.overrides), skipped=True
+                    )
+                    continue
+                try:
+                    # The worker echoes its index; submission order already
+                    # pairs future <-> pending entry, so it is redundant here.
+                    _, row, error = future.result()
+                except CancelledError:  # pragma: no cover - cancel() above returned False
+                    results[idx] = PointResult(
+                        index=idx, label=task.label, overrides=dict(task.overrides), skipped=True
+                    )
+                    continue
+                except Exception as exc:
+                    # A worker that died without returning (OOM-killed,
+                    # BrokenProcessPool) still yields a *labelled* per-point
+                    # error; points that completed before the breakage keep
+                    # their results.  KeyboardInterrupt still propagates.
+                    row, error = None, (
+                        f"{type(exc).__name__}: {exc} (worker process died "
+                        "before returning a result)"
+                    )
+                if error is not None and self.stop_on_error:
+                    failed = True
+                self._finish(results, idx, task, key, row, error)
+
+
+def run_grid(
+    spec: DeploymentSpec,
+    axes: Mapping[str, Sequence[Any]],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List[PointResult]:
+    """Expand ``axes`` over ``spec`` and run every point (one-call convenience)."""
+    from repro.config import expand_grid
+
+    return SweepRunner(jobs=jobs, cache_dir=cache_dir).run(expand_grid(spec, axes))

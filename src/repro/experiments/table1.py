@@ -11,8 +11,9 @@ roofline model reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List
 
+from repro.experiments.runner import SweepRunner
 from repro.hardware.gpu import get_gpu_spec
 from repro.models.flops import BatchProfile
 from repro.models.spec import get_model_spec
@@ -34,38 +35,72 @@ class Table1Row:
     decode_ratio_vs_a100: float
 
 
+def device_row(
+    device: str,
+    model: str = "opt-2.7b",
+    prompt_tokens: int = 512,
+    decode_context_tokens: int = 512,
+    num_prefill: int = 3,
+    num_decode: int = 25,
+) -> Dict[str, Any]:
+    """Profile one GPU type through the calibrated roofline model.
+
+    This is the ``"table1-device"`` task-kind function the parallel runner
+    fans out: picklable scalars in, a JSON-able row out.
+    """
+    spec = get_gpu_spec(device)
+    executor = RooflineExecutor(get_model_spec(model))
+    prefill_batch = BatchProfile.prefill_only([prompt_tokens] * num_prefill)
+    decode_batch = BatchProfile.decode_only([decode_context_tokens] * num_decode)
+    return {
+        "device": device,
+        "memory_gb": spec.memory_gb,
+        "prefill_time_s": executor.full_model_time(spec, prefill_batch),
+        "decode_time_s": executor.full_model_time(spec, decode_batch),
+    }
+
+
 def run_table1(
     prompt_tokens: int = 512,
     decode_context_tokens: int = 512,
     num_prefill: int = 3,
     num_decode: int = 25,
     devices: List[str] = ("a100", "rtx3090", "p100"),
+    jobs: int = 1,
 ) -> List[Table1Row]:
-    """Regenerate Table 1 with the calibrated device model."""
-    model = get_model_spec("opt-2.7b")
-    executor = RooflineExecutor(model)
-    prefill_batch = BatchProfile.prefill_only([prompt_tokens] * num_prefill)
-    decode_batch = BatchProfile.decode_only([decode_context_tokens] * num_decode)
+    """Regenerate Table 1 with the calibrated device model.
 
-    times: Dict[str, Dict[str, float]] = {}
-    for name in devices:
-        spec = get_gpu_spec(name)
-        times[name] = {
-            "prefill": executor.full_model_time(spec, prefill_batch),
-            "decode": executor.full_model_time(spec, decode_batch),
-            "memory": spec.memory_gb,
+    The per-device profiles are independent, so they fan out over the
+    experiment runner's generic task interface (``jobs=1`` keeps the serial
+    in-process path); the vs-A100 ratios are computed from the returned rows.
+    """
+    payloads = [
+        {
+            "device": name,
+            "prompt_tokens": prompt_tokens,
+            "decode_context_tokens": decode_context_tokens,
+            "num_prefill": num_prefill,
+            "num_decode": num_decode,
         }
+        for name in devices
+    ]
+    results = SweepRunner(jobs=jobs).map("table1-device", payloads, labels=list(devices))
+    times: Dict[str, Dict[str, Any]] = {}
+    for res in results:
+        if res.error is not None:
+            raise RuntimeError(f"table1 device {res.label} failed: {res.error}")
+        times[res.row["device"]] = res.row
     ref = times[devices[0]]
     rows = []
     for name in devices:
         rows.append(
             Table1Row(
                 device=name,
-                memory_gb=times[name]["memory"],
-                prefill_time_s=times[name]["prefill"],
-                decode_time_s=times[name]["decode"],
-                prefill_ratio_vs_a100=times[name]["prefill"] / ref["prefill"],
-                decode_ratio_vs_a100=times[name]["decode"] / ref["decode"],
+                memory_gb=times[name]["memory_gb"],
+                prefill_time_s=times[name]["prefill_time_s"],
+                decode_time_s=times[name]["decode_time_s"],
+                prefill_ratio_vs_a100=times[name]["prefill_time_s"] / ref["prefill_time_s"],
+                decode_ratio_vs_a100=times[name]["decode_time_s"] / ref["decode_time_s"],
             )
         )
     return rows

@@ -135,13 +135,17 @@ class DeviceAttentionModel:
             attention_transfer_bytes(model, num_heads, per_layer=False)
         )
 
-    @lru_cache(maxsize=64)
+    @lru_cache(maxsize=1024)
     def head_coefficient(self, model: ModelSpec) -> float:
         """Marginal cost of one additional query head (excluding cache term).
 
         Memoized: the coefficient is a pure function of the (frozen) device
         model and the model spec, yet the dispatcher historically recomputed
-        it for every dispatch round of every iteration.
+        it for every dispatch round of every iteration.  The cache is keyed by
+        value -- ``(device model, model spec)`` -- and sized for heterogeneous
+        multi-replica fleets plus the perturbed copies the profiling-error
+        study creates: 64 entries thrashed once a sweep mixed more than a few
+        fleet shapes (``scripts/bench.py`` records the hit rate).
         """
         coeff = self.compute.a
         if self.is_remote:

@@ -32,7 +32,7 @@ def hidden_state_bytes(model: ModelSpec, num_tokens: int) -> float:
     return float(num_tokens * model.hidden_size * model.dtype_bytes)
 
 
-@lru_cache(maxsize=4096)
+@lru_cache(maxsize=32768)
 def attention_transfer_bytes(model: ModelSpec, num_query_heads: float, per_layer: bool = True) -> float:
     """Bytes exchanged per decode step for ``num_query_heads`` offloaded heads.
 
@@ -42,6 +42,11 @@ def attention_transfer_bytes(model: ModelSpec, num_query_heads: float, per_layer
     the head's KV group must reach whichever device stores that group's cache,
     contributing ``2/r`` vectors per query head.  This is the paper's
     ``d_i(t) = (2 + 2/r) * h_i(t)`` expression, here converted to bytes.
+
+    Memoized by ``(model, heads, per_layer)``.  Dispatch rounds produce many
+    distinct fractional head counts per model, so the cache is sized for
+    heterogeneous multi-replica sweeps (4096 thrashed there; each entry is a
+    single float, and ``scripts/bench.py`` records the observed hit rate).
     """
     if num_query_heads < 0:
         raise ValueError("num_query_heads must be >= 0")

@@ -250,6 +250,121 @@ def test_sweep_rejects_bad_grid_cleanly(tmp_path):
              out=io.StringIO())
 
 
+def test_sweep_parallel_jobs_output_identical_to_serial(tmp_path):
+    args = ["sweep", write_config(tmp_path), "--grid", "workload.request_rate=4,8"]
+    serial_csv, parallel_csv = tmp_path / "serial.csv", tmp_path / "parallel.csv"
+    code_s, text_s = run_cli(args + ["--out", str(serial_csv)])
+    code_p, text_p = run_cli(args + ["--out", str(parallel_csv), "--jobs", "2"])
+    assert code_s == code_p == 0
+    assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+    assert text_s.replace(str(serial_csv), "") == text_p.replace(str(parallel_csv), "")
+
+
+def test_sweep_cache_second_run_hits(tmp_path):
+    cache = tmp_path / "cache"
+    args = ["sweep", write_config(tmp_path), "--grid", "workload.seed=0,1",
+            "--cache", str(cache)]
+    code1, text1 = run_cli(args)
+    code2, text2 = run_cli(args)
+    assert code1 == code2 == 0
+    assert "[cached]" not in text1
+    assert text2.count("[cached]") == 2
+    # identical metrics either way
+    assert text2.replace("  [cached]", "") == text1
+
+
+def test_sweep_failing_point_names_the_override_combo(tmp_path):
+    with pytest.raises(SystemExit, match=r"sweep point system\.options\.bogus=1.*bogus"):
+        main(["sweep", write_config(tmp_path), "--grid", "system.options.bogus=1,2"],
+             out=io.StringIO())
+
+
+def test_sweep_keep_going_writes_surviving_rows_and_reports(tmp_path):
+    out_csv = tmp_path / "partial.csv"
+    code, text = run_cli(
+        ["sweep", write_config(tmp_path), "--grid", "system.options.bogus=1,2",
+         "--keep-going", "--out", str(out_csv)]
+    )
+    assert code == 1
+    assert text.count("FAILED") >= 2
+    assert "2 of 2 point(s) failed" in text
+    lines = out_csv.read_text().strip().splitlines()
+    # zero surviving rows still emit the axis + metric header
+    assert len(lines) == 1
+    assert lines[0].startswith("system.options.bogus,mean_normalized_latency")
+
+
+def test_write_sweep_output_zero_rows_emits_header(tmp_path):
+    from repro.cli import _write_sweep_output
+
+    path = tmp_path / "empty.csv"
+    _write_sweep_output([], str(path), None, fieldnames=["workload.seed", "p95_ttft"])
+    assert path.read_text().strip() == "workload.seed,p95_ttft"
+    # without explicit fieldnames the legacy empty-file behaviour would recur
+    _write_sweep_output([], str(path), "csv", fieldnames=[])
+    assert path.read_text().strip() == ""
+
+
+# ---------------------------------------------------------------- experiment driver
+
+
+EXPERIMENT_TOML = """
+[experiment]
+name = "cli-smoke"
+
+[experiment.grid]
+"workload.request_rate" = [4.0, 8.0]
+
+[deployment]
+model = "llama-13b"
+
+[deployment.system]
+name = "static-tp"
+
+[deployment.cluster]
+kind = "small"
+
+[deployment.workload]
+dataset = "sharegpt"
+num_requests = 4
+"""
+
+
+def write_experiment(tmp_path, text=EXPERIMENT_TOML, name="exp.toml"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_experiment_dry_run_lists_points(tmp_path):
+    code, text = run_cli(["experiment", write_experiment(tmp_path), "--dry-run"])
+    assert code == 0
+    assert "experiment cli-smoke" in text
+    assert "2 point(s) over workload.request_rate" in text
+    assert "workload.request_rate=4.0" in text
+    assert "config OK" in text
+
+
+def test_experiment_end_to_end_with_output(tmp_path):
+    out_json = tmp_path / "rows.json"
+    code, text = run_cli(
+        ["experiment", write_experiment(tmp_path), "--jobs", "2", "--out", str(out_json)]
+    )
+    assert code == 0
+    import json
+
+    rows = json.loads(out_json.read_text())
+    assert [row["workload.request_rate"] for row in rows] == [4.0, 8.0]
+    assert all("mean_normalized_latency" in row for row in rows)
+    assert "wrote 2 row(s)" in text
+
+
+def test_experiment_rejects_bad_config_cleanly(tmp_path):
+    bad = "[experiment]\nname = 'x'\n[deployment]\nmodel = 'not-a-model'\n"
+    with pytest.raises(SystemExit, match="unknown model"):
+        main(["experiment", write_experiment(tmp_path, bad)], out=io.StringIO())
+
+
 def test_serve_slo_flags_print_block():
     code, text = run_cli(
         ["serve", "--system", "static-tp", "--model", "llama-13b", "--gpus", "a100:1",
