@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import platform
 import sys
 import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -34,11 +36,17 @@ try:  # runnable both as `python scripts/bench.py` and with PYTHONPATH=src set
 except ImportError:  # pragma: no cover - direct invocation convenience
     sys.path.insert(0, str(ROOT / "src"))
 
-from repro.api import quick_serve
-from repro.config import DeploymentSpec, expand_grid
-from repro.experiments.runner import SweepRunner
+from repro.api import build_cluster, build_system, quick_serve, run_system
+from repro.config import DeploymentSpec, MetricsSpec, expand_grid
+from repro.experiments.runner import SweepRunner, summary_row
 from repro.perf.attention_model import DeviceAttentionModel
 from repro.perf.commcost import attention_transfer_bytes
+from repro.workloads import (
+    StreamingTrace,
+    diurnal_phases,
+    generate_trace,
+    generate_trace_stream,
+)
 
 
 def _cache_stats(info) -> dict:
@@ -80,6 +88,80 @@ def bench_engine(quick: bool) -> tuple[dict, dict]:
         "num_finished": result.summary.num_finished,
     }
     return engine, caches
+
+
+def _large_trace_system():
+    return build_system("static-tp", build_cluster("small"), "llama-13b", dataset="humaneval")
+
+
+def bench_large_trace(quick: bool) -> dict:
+    """Streaming diurnal replay at production-scale N, plus the parity gate.
+
+    The gate is exactness, not speed: a list ``Trace`` and a
+    ``StreamingTrace`` over the same entries must produce bit-identical
+    summary rows (lazy arrival feeding cannot perturb event order).  The
+    large-N legs then replay a diurnal schedule through the streaming trace
+    with bounded-memory metrics, recording events/sec and the tracemalloc
+    peak at two sizes -- sub-linear peak growth is recorded, not thresholded.
+    """
+    parity_n = 512
+    trace = generate_trace("humaneval", 40.0, parity_n, seed=0)
+    stream = StreamingTrace.from_entries(
+        trace.entries, dataset=trace.dataset, request_rate=trace.request_rate
+    )
+    row_list = summary_row(run_system(_large_trace_system(), trace))
+    row_stream = summary_row(run_system(_large_trace_system(), stream))
+    parity_ok = row_list == row_stream
+
+    base_rate, peak_rate, period = 20.0, 60.0, 600.0
+    # tracemalloc costs ~5-8x engine throughput, so the quick sizes stay small
+    # (the sub-linearity signal survives; the full run covers 1e5 requests).
+    sizes = (500, 5_000) if quick else (10_000, 100_000)
+    runs = []
+    for n in sizes:
+        # Enough diurnal cycles that the schedule outlasts the request cap.
+        cycles = max(1, math.ceil(n / (0.5 * (base_rate + peak_rate) * period)) + 1)
+        phases = diurnal_phases(base_rate, peak_rate, period=period, cycles=cycles)
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        strm = generate_trace_stream("humaneval", 40.0, n, seed=0, phases=phases)
+        result = run_system(
+            _large_trace_system(),
+            strm,
+            metrics=MetricsSpec(mode="bounded", max_recorder_samples_per_key=4096),
+        )
+        wall = time.perf_counter() - t0
+        _, peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        runs.append(
+            {
+                "num_requests": n,
+                "wall_seconds": round(wall, 4),
+                "events": result.wall_clock_events,
+                "events_per_second": round(result.wall_clock_events / wall, 1) if wall > 0 else None,
+                "num_finished": result.summary.num_finished,
+                "peak_traced_mb": round(peak_bytes / 1e6, 2),
+                "truncated": result.truncated,
+            }
+        )
+    mem_ratio = (
+        runs[1]["peak_traced_mb"] / runs[0]["peak_traced_mb"]
+        if runs[0]["peak_traced_mb"] > 0
+        else None
+    )
+    n_ratio = sizes[1] / sizes[0]
+    return {
+        "workload": (
+            f"static-tp/llama-13b/humaneval diurnal ({base_rate:g}->{peak_rate:g} req/s), "
+            "streaming trace + bounded metrics (tracemalloc peaks include the run only)"
+        ),
+        "parity_requests": parity_n,
+        "streaming_rows_bit_identical": parity_ok,
+        "runs": runs,
+        "peak_memory_ratio": round(mem_ratio, 3) if mem_ratio is not None else None,
+        "request_count_ratio": n_ratio,
+        "peak_memory_sublinear": mem_ratio is not None and mem_ratio < n_ratio,
+    }
 
 
 def _sweep_combos(quick: bool):
@@ -179,6 +261,22 @@ def main(argv=None) -> int:
         f"({sweep['cache_warm_fraction_of_cold']} of cold)"
     )
 
+    print("== large-trace streaming replay (diurnal, bounded metrics) ==")
+    large = bench_large_trace(args.quick)
+    print(f"  parity @ n={large['parity_requests']}: "
+          f"{'bit-identical' if large['streaming_rows_bit_identical'] else 'DIVERGED'}")
+    for run_info in large["runs"]:
+        print(
+            f"  n={run_info['num_requests']}: {run_info['wall_seconds']}s, "
+            f"{run_info['events']} events ({run_info['events_per_second']}/s), "
+            f"peak {run_info['peak_traced_mb']} MB"
+        )
+    print(
+        f"  peak memory ratio {large['peak_memory_ratio']}x for "
+        f"{large['request_count_ratio']:g}x requests "
+        f"({'sub-linear' if large['peak_memory_sublinear'] else 'NOT sub-linear'})"
+    )
+
     payload = {
         "benchmark": "parallel-experiment-runner",
         "quick": args.quick,
@@ -190,6 +288,7 @@ def main(argv=None) -> int:
         "engine": engine,
         "lru_caches": caches,
         "sweep": sweep,
+        "engine_large_trace": large,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -197,6 +296,12 @@ def main(argv=None) -> int:
     # Determinism is the gate; wall-clock numbers are recorded, not enforced.
     if not sweep["rows_bit_identical"] or not sweep["cache_rows_bit_identical"]:
         print("bench FAILED: parallel/cached rows diverge from the serial run", file=sys.stderr)
+        return 1
+    if not large["streaming_rows_bit_identical"]:
+        print(
+            "bench FAILED: streaming-trace engine run diverges from the list-trace run",
+            file=sys.stderr,
+        )
         return 1
     if sweep["parallel_speedup"] is not None and sweep["parallel_speedup"] < 1.0:
         print(

@@ -37,6 +37,11 @@ shopt -u nullglob
 echo "== fast tier: pytest -m 'not slow' =="
 python -m pytest -m "not slow" -q
 
+# Streaming-vs-list parity: the lazy arrival-feeding engine path must stay
+# bit-identical to replaying the same entries from a materialized Trace.
+echo "== streaming-vs-list engine parity =="
+python -m pytest tests/sim/test_streaming.py -q
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "fast tier passed (full tier skipped)"
     exit 0

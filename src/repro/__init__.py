@@ -47,6 +47,7 @@ from repro.config import (
     ConfigError,
     DeploymentSpec,
     ElasticitySpec,
+    MetricsSpec,
     RouterSpec,
     SystemSpec,
     WorkloadSpec,
@@ -63,6 +64,7 @@ __all__ = [
     "RouterSpec",
     "ElasticitySpec",
     "WorkloadSpec",
+    "MetricsSpec",
     "SLOSpec",
     "ConfigError",
     "Registry",

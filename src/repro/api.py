@@ -33,6 +33,7 @@ from repro.config import (
     ClusterSpec,
     DeploymentSpec,
     ElasticitySpec,
+    MetricsSpec,
     RouterSpec,
     SystemSpec,
     WorkloadSpec,
@@ -54,7 +55,12 @@ from repro.sim.scheduler import SchedulerLimits
 from repro.systems import SYSTEMS, default_hint
 from repro.workloads.arrivals import RatePhase
 from repro.workloads.datasets import DATASETS
-from repro.workloads.trace import Trace, generate_trace
+from repro.workloads.trace import (
+    StreamingTrace,
+    Trace,
+    generate_trace,
+    generate_trace_stream,
+)
 
 
 def available_models() -> List[str]:
@@ -153,19 +159,28 @@ class PreparedRun:
     system: ServingSystem
     slo: Optional[SLOSpec] = None
     max_simulated_time: float = 24 * 3600.0
-    _trace: Optional[Trace] = None
+    _trace: "Optional[Trace | StreamingTrace]" = None
 
     @property
-    def trace(self) -> Trace:
+    def trace(self) -> "Trace | StreamingTrace":
         if self._trace is None:
             wl = self.spec.workload
-            self._trace = generate_trace(
-                wl.dataset,
-                wl.request_rate,
-                wl.num_requests,
-                seed=wl.seed,
-                phases=wl.phases,
-            )
+            if wl.streaming:
+                self._trace = generate_trace_stream(
+                    wl.dataset,
+                    wl.request_rate,
+                    wl.num_requests,
+                    seed=wl.seed,
+                    phases=wl.phases,
+                )
+            else:
+                self._trace = generate_trace(
+                    wl.dataset,
+                    wl.request_rate,
+                    wl.num_requests,
+                    seed=wl.seed,
+                    phases=wl.phases,
+                )
         return self._trace
 
     def describe(self) -> str:
@@ -173,8 +188,13 @@ class PreparedRun:
 
     def run(self) -> SimulationResult:
         """Simulate the prepared deployment against its trace."""
+        metrics = self.spec.metrics
         engine = Engine(
-            self.system, max_simulated_time=self.max_simulated_time, slo=self.slo
+            self.system,
+            max_simulated_time=self.max_simulated_time,
+            slo=self.slo,
+            collector=metrics.build_collector(self.slo) if metrics is not None else None,
+            recorder=metrics.build_recorder() if metrics is not None else None,
         )
         return engine.run(self.trace)
 
@@ -276,12 +296,24 @@ def run(spec: DeploymentSpec, **build_overrides) -> SimulationResult:
 
 def run_system(
     system: ServingSystem,
-    trace: Trace,
+    trace: "Trace | StreamingTrace",
     max_simulated_time: float = 24 * 3600.0,
     slo: Optional[SLOSpec] = None,
+    metrics: Optional[MetricsSpec] = None,
 ) -> SimulationResult:
-    """Run a prepared system against a prepared trace."""
-    engine = Engine(system, max_simulated_time=max_simulated_time, slo=slo)
+    """Run a prepared system against a prepared (possibly streaming) trace.
+
+    ``metrics`` opts the run into a non-default collection mode (e.g.
+    ``MetricsSpec(mode="bounded")`` for flat-memory aggregation over large
+    traces); ``None`` keeps the exact default.
+    """
+    engine = Engine(
+        system,
+        max_simulated_time=max_simulated_time,
+        slo=slo,
+        collector=metrics.build_collector(slo) if metrics is not None else None,
+        recorder=metrics.build_recorder() if metrics is not None else None,
+    )
     return engine.run(trace)
 
 

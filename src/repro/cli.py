@@ -69,6 +69,7 @@ from repro.api import (
 from repro.config import (
     ConfigError,
     DeploymentSpec,
+    MetricsSpec,
     expand_grid,
     parse_grid_axis,
     parse_grid_value,
@@ -83,7 +84,7 @@ from repro.hardware.cluster import Cluster, ClusterBuilder, parse_blueprint
 from repro.models.spec import get_model_spec
 from repro.sim.engine import SimulationResult
 from repro.sim.metrics import SLOSpec
-from repro.workloads.trace import generate_trace
+from repro.workloads.trace import StreamingTrace, generate_trace, generate_trace_stream
 
 
 def _cluster_from_args(gpu_hosts: Optional[Sequence[str]]) -> Cluster:
@@ -192,6 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="simulate serving a workload with one system")
     serve.add_argument("--system", default="hetis", choices=["hetis", "hexgen", "splitwise", "static-tp"])
     _add_common_workload_args(serve)
+    serve.add_argument(
+        "--streaming", action="store_true",
+        help="generate the trace lazily (O(chunk) memory) instead of "
+             "materializing all requests up front; use for large --requests",
+    )
+    serve.add_argument(
+        "--bounded-memory", action="store_true",
+        help="collect metrics with streaming aggregates (GK quantile sketch, "
+             "~0.5%% rank error on P95s) so memory stays flat over long runs",
+    )
 
     compare = sub.add_parser("compare", help="run the same workload through several systems")
     compare.add_argument("--systems", nargs="+", default=["splitwise", "hexgen", "hetis"])
@@ -404,8 +415,12 @@ def _build_serving(name: str, args: argparse.Namespace):
 def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
     system = _build_serving(args.system, args)
     slo = _slo_from_args(args)
-    trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
-    result = run_system(system, trace, slo=slo)
+    if args.streaming:
+        trace = generate_trace_stream(args.dataset, args.rate, args.requests, seed=args.seed)
+    else:
+        trace = generate_trace(args.dataset, args.rate, args.requests, seed=args.seed)
+    metrics = MetricsSpec(mode="bounded") if args.bounded_memory else None
+    result = run_system(system, trace, slo=slo, metrics=metrics)
     num_replicas = len(getattr(system, "replicas", [None]))
     label = args.system if num_replicas == 1 else f"{num_replicas}x {args.system} [{args.router}]"
     print(f"{label} serving {args.requests} x {args.dataset} @ {args.rate} req/s ({args.model})", file=out)
@@ -435,6 +450,12 @@ def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
         )
     if result.num_dropped:
         print(f"warning: {result.num_dropped} request(s) dropped (did not fit in cluster memory)", file=out)
+    if result.truncated:
+        print(
+            f"warning: run truncated ({result.truncation_reason}); "
+            "metrics cover only the simulated prefix",
+            file=out,
+        )
     return 0
 
 
@@ -497,6 +518,12 @@ def _print_result(spec: DeploymentSpec, result: SimulationResult, out) -> None:
             f"warning: {result.num_dropped} request(s) dropped (did not fit in cluster memory)",
             file=out,
         )
+    if result.truncated:
+        print(
+            f"warning: run truncated ({result.truncation_reason}); "
+            "metrics cover only the simulated prefix",
+            file=out,
+        )
 
 
 def cmd_run(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -509,7 +536,13 @@ def cmd_run(args: argparse.Namespace, out=sys.stdout) -> int:
     if args.dry_run:
         print(f"config OK: {spec.describe()}", file=out)
         print(f"system: {prepared.describe()}", file=out)
-        print(f"trace: {len(prepared.trace)} requests over {prepared.trace.duration:.1f}s", file=out)
+        trace = prepared.trace
+        if isinstance(trace, StreamingTrace):
+            # Lazy traces have no cheap length/duration; counting would force
+            # the full stream a dry run exists to avoid.
+            print(f"trace: {trace.describe()}", file=out)
+        else:
+            print(f"trace: {len(trace)} requests over {trace.duration:.1f}s", file=out)
         return 0
     print(spec.describe(), file=out)
     result = prepared.run()
@@ -570,14 +603,19 @@ def _run_grid_points(combos, axis_names: List[str], args: argparse.Namespace, ou
         rows.append(table_row(res.overrides, res.row))
         row = res.row
         cached = "  [cached]" if res.cached else ""
+        truncated = (
+            f"  [TRUNCATED: {row.get('truncation_reason') or 'unknown'}]"
+            if row.get("truncated")
+            else ""
+        )
         print(
             f"  {res.label}: mean {row['mean_normalized_latency']:.4f} s/tok, "
             f"p95 TTFT {row['p95_ttft']:.3f}s, {row['throughput_tokens_per_s']:.1f} tok/s, "
-            f"goodput {row['goodput_rps']:.2f} req/s{cached}",
+            f"goodput {row['goodput_rps']:.2f} req/s{cached}{truncated}",
             file=out,
         )
     if args.out:
-        fieldnames = axis_names + list(TABLE_METRICS) + ["num_dropped"]
+        fieldnames = axis_names + list(TABLE_METRICS) + ["num_dropped", "truncated"]
         _write_sweep_output(rows, args.out, args.format, fieldnames=fieldnames)
         print(f"wrote {len(rows)} row(s) to {args.out}", file=out)
     if num_failed:

@@ -46,7 +46,8 @@ from repro.core.elasticity import (
 )
 from repro.hardware.cluster import parse_blueprint
 from repro.models.spec import MODEL_CATALOG
-from repro.sim.metrics import SLOSpec
+from repro.sim.metrics import MetricsCollector, SLOSpec
+from repro.sim.recorder import TimeSeriesRecorder
 from repro.sim.scheduler import SchedulerLimits
 from repro.systems import SYSTEMS
 from repro.workloads.arrivals import RatePhase
@@ -404,13 +405,86 @@ class ElasticitySpec:
 
 
 @dataclass(frozen=True)
+class MetricsSpec:
+    """How a run collects metrics: exact (default) or bounded-memory.
+
+    ``mode="bounded"`` switches the engine's collector to streaming
+    aggregates -- exact counts and means, P95s from a Greenwald-Khanna sketch
+    with ``quantile_epsilon`` rank-error bound -- so memory stays flat over
+    arbitrarily long traces.  The ``"exact"`` default keeps the historical
+    per-request record lists (and bit-identical snapshot output).
+
+    ``max_recorder_samples_per_key`` caps each time-series key in the run's
+    :class:`~repro.sim.recorder.TimeSeriesRecorder` (``None`` = unbounded).
+    """
+
+    mode: str = "exact"
+    quantile_epsilon: float = 0.005
+    max_recorder_samples_per_key: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check(
+            self.mode in ("exact", "bounded"),
+            f"metrics.mode must be 'exact' or 'bounded', got {self.mode!r}",
+        )
+        _check(
+            isinstance(self.quantile_epsilon, (int, float))
+            and 0.0 < self.quantile_epsilon < 0.5,
+            f"metrics.quantile_epsilon must be in (0, 0.5), got {self.quantile_epsilon!r}",
+        )
+        object.__setattr__(self, "quantile_epsilon", float(self.quantile_epsilon))
+        if self.max_recorder_samples_per_key is not None:
+            _check(
+                isinstance(self.max_recorder_samples_per_key, int)
+                and not isinstance(self.max_recorder_samples_per_key, bool)
+                and self.max_recorder_samples_per_key >= 2,
+                "metrics.max_recorder_samples_per_key must be an integer >= 2 or null, "
+                f"got {self.max_recorder_samples_per_key!r}",
+            )
+
+    @property
+    def bounded(self) -> bool:
+        return self.mode == "bounded"
+
+    def build_collector(self, slo: Optional[SLOSpec] = None) -> MetricsCollector:
+        return MetricsCollector(
+            slo=slo,
+            bounded_memory=self.bounded,
+            quantile_epsilon=self.quantile_epsilon,
+        )
+
+    def build_recorder(self) -> TimeSeriesRecorder:
+        return TimeSeriesRecorder(max_samples_per_key=self.max_recorder_samples_per_key)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "quantile_epsilon": self.quantile_epsilon,
+            "max_recorder_samples_per_key": self.max_recorder_samples_per_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsSpec":
+        _reject_unknown_keys(cls, data, "metrics spec")
+        return cls(
+            mode=data.get("mode", "exact"),
+            quantile_epsilon=data.get("quantile_epsilon", 0.005),
+            max_recorder_samples_per_key=data.get("max_recorder_samples_per_key"),
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """The trace to replay: dataset, arrival process, and size.
 
     With ``phases`` set, arrivals follow the piecewise-constant schedule (the
     diurnal / spike shapes of the elasticity experiments) and ``num_requests``
     caps how many are kept; otherwise arrivals are Poisson at
-    ``request_rate``.
+    ``request_rate``.  ``streaming=True`` generates the trace lazily
+    (:func:`~repro.workloads.trace.generate_trace_stream`) so production-scale
+    request counts replay in O(chunk) memory; arrival timestamps match the
+    materialized path bit-for-bit on the phases path, while request lengths
+    are drawn in chunks (statistically identical, not bit-identical).
     """
 
     dataset: str = "sharegpt"
@@ -418,8 +492,18 @@ class WorkloadSpec:
     num_requests: int = 64
     seed: int = 0
     phases: Optional[Tuple[RatePhase, ...]] = None
+    streaming: bool = False
 
     def __post_init__(self) -> None:
+        _check(
+            isinstance(self.streaming, bool),
+            f"workload.streaming must be a boolean, got {self.streaming!r}",
+        )
+        _check(
+            not (self.streaming and self.phases is None and self.num_requests <= 0),
+            "workload.streaming with Poisson arrivals needs num_requests > 0 "
+            "(the arrival process never terminates on its own)",
+        )
         _check(isinstance(self.dataset, str) and bool(self.dataset), "workload.dataset must be a non-empty string")
         object.__setattr__(
             self, "dataset", _check_name(DATASETS, self.dataset.lower(), "workload.dataset")
@@ -471,6 +555,7 @@ class WorkloadSpec:
                 if self.phases is not None
                 else None
             ),
+            "streaming": self.streaming,
         }
 
     @classmethod
@@ -484,6 +569,7 @@ class WorkloadSpec:
             seed=data.get("seed", 0),
             # `is not None`: an explicit [] must fail validation, not vanish.
             phases=tuple(phases) if phases is not None else None,
+            streaming=data.get("streaming", False),
         )
 
 
@@ -534,6 +620,7 @@ class DeploymentSpec:
     elasticity: Optional[ElasticitySpec] = None
     slo: Optional[SLOSpec] = None
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    metrics: Optional[MetricsSpec] = None
     max_simulated_time: float = 24 * 3600.0
 
     def __post_init__(self) -> None:
@@ -554,6 +641,10 @@ class DeploymentSpec:
             "slo must be an SLOSpec or null",
         )
         _check(isinstance(self.workload, WorkloadSpec), "workload must be a WorkloadSpec")
+        _check(
+            self.metrics is None or isinstance(self.metrics, MetricsSpec),
+            "metrics must be a MetricsSpec or null",
+        )
         _check(
             isinstance(self.max_simulated_time, (int, float)) and self.max_simulated_time > 0,
             f"max_simulated_time must be > 0, got {self.max_simulated_time!r}",
@@ -589,7 +680,12 @@ class DeploymentSpec:
             parts.append(f"slo=({self.slo.ttft_s:g}s TTFT, {self.slo.tpot_s:g}s TPOT)")
         wl = self.workload
         arrivals = f"{len(wl.phases)} phases" if wl.phases else f"{wl.request_rate:g} req/s"
-        parts.append(f"{wl.num_requests} x {wl.dataset} @ {arrivals}, seed {wl.seed}")
+        trace = f"{wl.num_requests} x {wl.dataset} @ {arrivals}, seed {wl.seed}"
+        if wl.streaming:
+            trace += ", streaming"
+        parts.append(trace)
+        if self.metrics is not None and self.metrics.bounded:
+            parts.append(f"bounded metrics (eps={self.metrics.quantile_epsilon:g})")
         return ", ".join(parts)
 
     # -- serialization ---------------------------------------------------------------
@@ -603,6 +699,7 @@ class DeploymentSpec:
             "elasticity": self.elasticity.to_dict() if self.elasticity is not None else None,
             "slo": _slo_to_dict(self.slo) if self.slo is not None else None,
             "workload": self.workload.to_dict(),
+            "metrics": self.metrics.to_dict() if self.metrics is not None else None,
             "max_simulated_time": self.max_simulated_time,
         }
 
@@ -627,6 +724,7 @@ class DeploymentSpec:
             elasticity=sub("elasticity", ElasticitySpec.from_dict, None),
             slo=sub("slo", _slo_from_dict, None),
             workload=sub("workload", WorkloadSpec.from_dict, WorkloadSpec),
+            metrics=sub("metrics", MetricsSpec.from_dict, None),
             max_simulated_time=data.get("max_simulated_time", 24 * 3600.0),
         )
 
@@ -695,6 +793,7 @@ _SECTION_CLASSES: Dict[Tuple[str, ...], Any] = {
     ("router",): RouterSpec,
     ("elasticity",): ElasticitySpec,
     ("workload",): WorkloadSpec,
+    ("metrics",): MetricsSpec,
 }
 
 

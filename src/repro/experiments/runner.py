@@ -46,7 +46,8 @@ from repro.sim.engine import SimulationResult
 #: Bump when the row schema (or the meaning of a payload) changes: the cache
 #: key folds the version in, so stale cache directories become misses instead
 #: of silently serving rows with missing fields.
-CACHE_VERSION = 1
+#: v2: rows gained truncated/truncation_reason.
+CACHE_VERSION = 2
 
 #: Scalar SummaryStats fields copied into every deployment summary row.
 SUMMARY_FIELDS: Tuple[str, ...] = (
@@ -83,6 +84,8 @@ def summary_row(result: SimulationResult) -> Dict[str, Any]:
     row["num_dropped"] = result.num_dropped
     row["available_cache_bytes"] = result.available_cache_bytes
     row["wall_clock_events"] = result.wall_clock_events
+    row["truncated"] = result.truncated
+    row["truncation_reason"] = result.truncation_reason
     return row
 
 
@@ -109,6 +112,9 @@ def table_row(overrides: Mapping[str, Any], row: Mapping[str, Any]) -> Dict[str,
     for name in TABLE_METRICS:
         out[name] = row[name]
     out["num_dropped"] = row["num_dropped"]
+    # .get(): rows written by pre-truncation-aware cache versions lack the
+    # flag; absent means the run finished (truncated runs were unreportable).
+    out["truncated"] = bool(row.get("truncated", False))
     return out
 
 

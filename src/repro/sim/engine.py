@@ -13,14 +13,14 @@ from __future__ import annotations
 import abc
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.iteration import Iteration, IterationOutcome
 from repro.sim.metrics import MetricsCollector, SLOSpec, SummaryStats
 from repro.sim.recorder import TimeSeriesRecorder
 from repro.sim.request import Request
 from repro.sim.units import ExecutionUnit
-from repro.workloads.trace import Trace
+from repro.workloads.trace import StreamingTrace, Trace, TraceEntry
 
 
 @dataclass(frozen=True)
@@ -120,6 +120,10 @@ class SimulationResult:
     available_cache_bytes: float
     num_dropped: int = 0
     wall_clock_events: int = 0
+    # A run that hits an engine safety limit is *partial*: whatever finished
+    # before the cutoff is reported, but callers must be able to tell.
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
 
     @property
     def normalized_latency(self) -> float:
@@ -159,6 +163,12 @@ class Engine:
     slo:
         TTFT/TPOT objectives the SLO-attainment/goodput metrics are scored
         against; ``None`` keeps the loose interactive-chat defaults.
+    collector:
+        Pre-built :class:`MetricsCollector` (e.g. a ``bounded_memory`` one);
+        ``None`` builds the default exact collector from ``slo``.
+    recorder:
+        Pre-built :class:`TimeSeriesRecorder` (e.g. with a
+        ``max_samples_per_key`` cap); ``None`` builds an unbounded one.
     """
 
     def __init__(
@@ -167,15 +177,26 @@ class Engine:
         max_simulated_time: float = 24 * 3600.0,
         max_events: int = 2_000_000,
         slo: Optional[SLOSpec] = None,
+        collector: Optional[MetricsCollector] = None,
+        recorder: Optional[TimeSeriesRecorder] = None,
     ) -> None:
         self.system = system
         self.max_simulated_time = max_simulated_time
         self.max_events = max_events
-        self.metrics = MetricsCollector(slo=slo)
-        self.recorder = TimeSeriesRecorder()
+        self.metrics = collector if collector is not None else MetricsCollector(slo=slo)
+        self.recorder = recorder if recorder is not None else TimeSeriesRecorder()
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Simulate the full trace and return aggregated results."""
+    def run(
+        self, trace: Union[Trace, StreamingTrace, Iterable[TraceEntry]]
+    ) -> SimulationResult:
+        """Simulate the full trace and return aggregated results.
+
+        ``trace`` may be any iterable of :class:`TraceEntry` sorted by arrival
+        time -- a materialized :class:`Trace` or a lazy
+        :class:`StreamingTrace`.  Arrivals are pulled from it incrementally
+        (only when the event heap's frontier reaches them), so a streaming
+        trace replays in O(in-flight) memory regardless of its length.
+        """
         # Event tie-breaker: a plain monotonically increasing int.  Only the
         # relative order of the values matters for heap ties, and incrementing
         # a local is measurably cheaper than next(itertools.count()) on this
@@ -183,15 +204,16 @@ class Engine:
         seq = 0
         events: List[Tuple[float, int, int, object]] = []
         heappush, heappop = heapq.heappush, heapq.heappop
-        for idx, entry in enumerate(trace):
-            request = Request(
-                request_id=idx,
-                arrival_time=entry.arrival_time,
-                prompt_tokens=entry.prompt_tokens,
-                output_tokens=entry.output_tokens,
-            )
-            seq += 1
-            heappush(events, (entry.arrival_time, _KIND_ARRIVAL, seq, request))
+        # Lazy arrival feeding: instead of pre-pushing all N trace arrivals
+        # (O(N) heap residency before the first event pops), hold one
+        # lookahead entry and push arrivals only once the heap frontier
+        # reaches them.  The invariant kept by the feed step below -- every
+        # trace arrival with timestamp <= the heap top is in the heap before
+        # a pop -- makes the pop order identical to the pre-push version,
+        # while the heap holds only in-flight work plus one pending arrival.
+        entries_iter = iter(trace)
+        next_entry: Optional[TraceEntry] = next(entries_iter, None)
+        next_request_id = 0
 
         # A system's unit set is fixed for the lifetime of a run, so snapshot
         # it once: several ``units`` properties build a fresh list per access,
@@ -230,18 +252,47 @@ class Engine:
         # tick re-arms itself only while other events remain, so an idle run
         # still terminates.
         control_interval = self.system.control_interval()
-        if control_interval is not None and control_interval > 0 and events:
+        if control_interval is not None and control_interval > 0 and next_entry is not None:
             seq += 1
             heappush(events, (control_interval, _KIND_CONTROL, seq, None))
 
-        while events:
-            processed += 1
-            if processed > self.max_events:
+        truncated = False
+        truncation_reason: Optional[str] = None
+        while True:
+            # Feed step: push every trace arrival due at or before the heap
+            # top.  With an empty heap the first push establishes the top to
+            # compare against, and equal-time arrivals chain through the <=
+            # check in trace order (seq preserves their relative order).
+            while next_entry is not None and (
+                not events or next_entry.arrival_time <= events[0][0]
+            ):
+                request = Request(
+                    request_id=next_request_id,
+                    arrival_time=next_entry.arrival_time,
+                    prompt_tokens=next_entry.prompt_tokens,
+                    output_tokens=next_entry.output_tokens,
+                )
+                next_request_id += 1
+                seq += 1
+                heappush(events, (next_entry.arrival_time, _KIND_ARRIVAL, seq, request))
+                next_entry = next(entries_iter, None)
+            if not events:
+                break
+            # Both cutoffs leave the offending event *unprocessed* and count
+            # only fully handled events in ``processed``; historically the
+            # max_simulated_time break counted its popped-but-dropped event
+            # while the max_events break did not.
+            if processed >= self.max_events:
+                truncated = True
+                truncation_reason = "max_events"
                 break
             time, kind, _, payload = heappop(events)
             now = time
             if now > self.max_simulated_time:
+                truncated = True
+                truncation_reason = "max_simulated_time"
                 break
+            processed += 1
 
             if kind == _KIND_ARRIVAL:
                 request = payload  # type: ignore[assignment]
@@ -290,7 +341,7 @@ class Engine:
 
             elif kind == _KIND_CONTROL:
                 self.system.on_control_tick(now, self.recorder)
-                if events:
+                if events or next_entry is not None:
                     seq += 1
                     heappush(
                         events, (now + control_interval, _KIND_CONTROL, seq, None)
@@ -315,4 +366,6 @@ class Engine:
             available_cache_bytes=self.system.available_cache_bytes(),
             num_dropped=num_dropped,
             wall_clock_events=processed,
+            truncated=truncated,
+            truncation_reason=truncation_reason,
         )

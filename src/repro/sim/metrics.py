@@ -4,10 +4,25 @@ The collector accumulates per-request records and per-iteration module-time
 samples; :class:`SummaryStats` exposes the aggregates the paper reports
 (mean / P95 of normalized latency, TTFT, TPOT, and decode-phase module
 latencies) plus throughput.
+
+Two collection modes:
+
+* **exact** (the default) keeps every :class:`RequestRecord` and module-time
+  sample, so summaries are bit-identical to the historical path and
+  per-request data stays available for snapshots and figures.  Memory grows
+  O(N) with the trace.
+* **bounded** (``MetricsCollector(bounded_memory=True)``) keeps only running
+  aggregates: exact counts/means/sums plus :class:`GKQuantileSketch`
+  (Greenwald-Khanna) sketches for the P95s.  Memory is O((1/eps) * log(eps*N))
+  per tracked metric regardless of trace length, and every reported quantile
+  carries the sketch's documented rank-error bound.  ``records`` stays empty
+  in this mode -- production-scale replays opt in via the deployment spec's
+  ``metrics.mode = "bounded"``.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -19,16 +34,128 @@ from repro.sim.request import Request
 def percentile(values: Sequence[float], q: float) -> float:
     """Percentile helper that tolerates empty input (returns 0.0).
 
-    ``np.percentile`` raises IndexError on empty arrays, and one-shot
-    generators would be consumed by a pre-check -- so the input is materialised
-    first and the empty case short-circuited before NumPy sees it.
+    ``np.percentile`` raises IndexError on empty arrays, so the empty case is
+    short-circuited before NumPy sees it.  Arrays pass through without a
+    copy; lists/generators are materialised exactly once via ``np.fromiter``
+    (the old ``list() -> np.asarray`` path built every input twice).
     """
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    arr = np.asarray(list(values), dtype=float)
+    if isinstance(values, np.ndarray):
+        arr = np.asarray(values, dtype=float)
+    else:
+        arr = np.fromiter(values, dtype=float)
     if arr.size == 0:
         return 0.0
     return float(np.percentile(arr, q))
+
+
+class GKQuantileSketch:
+    """Greenwald-Khanna streaming quantile sketch with a hard rank-error bound.
+
+    After ``n`` inserts, ``query(q)`` returns a value whose rank in the sorted
+    stream is within ``epsilon * n`` of ``q * n`` -- a deterministic guarantee,
+    not a probabilistic one.  Memory is O((1/epsilon) * log(epsilon * n)),
+    independent of the stream length for practical purposes: at the default
+    ``epsilon=0.005`` a million-sample stream keeps a few hundred tuples
+    instead of a million floats.
+
+    This is the quantile engine behind the collector's ``bounded_memory``
+    mode; the exact mode never touches it.
+    """
+
+    def __init__(self, epsilon: float = 0.005) -> None:
+        if not 0 < epsilon < 0.5:
+            raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon!r}")
+        self.epsilon = epsilon
+        # Sorted tuples (value, g, delta): g = rank gap to the previous tuple,
+        # delta = uncertainty of this tuple's rank.  _values mirrors the tuple
+        # values so inserts can bisect without a key function.
+        self._tuples: List[List[float]] = []
+        self._values: List[float] = []
+        self._n = 0
+        self._since_compress = 0
+        self._compress_every = max(int(1.0 / (2.0 * epsilon)), 1)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def num_tuples(self) -> int:
+        """Current sketch size (for memory accounting and tests)."""
+        return len(self._tuples)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self._values, value)
+        if idx == 0 or idx == len(self._tuples):
+            delta = 0.0  # new minimum or maximum: rank is known exactly
+        else:
+            delta = float(int(2.0 * self.epsilon * self._n))
+        self._tuples.insert(idx, [value, 1.0, delta])
+        self._values.insert(idx, value)
+        self._n += 1
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self._compress()
+            self._since_compress = 0
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples whose combined uncertainty stays in bound."""
+        if len(self._tuples) < 3:
+            return
+        threshold = 2.0 * self.epsilon * self._n
+        tuples = self._tuples
+        # Sweep right-to-left so a merge never disturbs unvisited indices;
+        # endpoints (min/max) are never merged away.
+        i = len(tuples) - 2
+        while i >= 1:
+            v, g, d = tuples[i]
+            nv, ng, nd = tuples[i + 1]
+            if g + ng + nd < threshold:
+                tuples[i + 1][1] = g + ng
+                del tuples[i]
+                del self._values[i]
+            i -= 1
+
+    def query(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], within ``epsilon * n`` ranks."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        if not self._tuples:
+            return 0.0
+        target = q * self._n
+        margin = self.epsilon * self._n
+        rank = 0.0
+        for i in range(len(self._tuples) - 1):
+            rank += self._tuples[i][1]
+            if rank + self._tuples[i + 1][1] + self._tuples[i + 1][2] > target + margin:
+                return self._tuples[i][0]
+        return self._tuples[-1][0]
+
+
+class StreamingStats:
+    """Bounded-memory accumulator: exact count/mean, sketched quantiles."""
+
+    __slots__ = ("count", "total", "sketch")
+
+    def __init__(self, epsilon: float = 0.005) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sketch = GKQuantileSketch(epsilon)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sketch.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        return self.sketch.query(q)
 
 
 @dataclass(frozen=True)
@@ -119,22 +246,49 @@ class SummaryStats:
 
 
 class MetricsCollector:
-    """Accumulates request records and module-time samples during a run."""
+    """Accumulates request records and module-time samples during a run.
 
-    def __init__(self, slo: Optional[SLOSpec] = None) -> None:
+    ``bounded_memory=True`` switches every per-request and per-module store
+    to streaming aggregates (exact counts/means, GK-sketched P95s with
+    ``quantile_epsilon`` rank error) so memory stays flat over million-request
+    replays.  The default exact mode is bit-identical to the historical
+    collector -- the snapshot gates depend on that.
+    """
+
+    def __init__(
+        self,
+        slo: Optional[SLOSpec] = None,
+        bounded_memory: bool = False,
+        quantile_epsilon: float = 0.005,
+    ) -> None:
         self.records: List[RequestRecord] = []
         self.module_samples: Dict[str, List[float]] = {}
         self.slo = slo or SLOSpec()
+        self.bounded_memory = bool(bounded_memory)
+        self.quantile_epsilon = quantile_epsilon
         self.num_rejected = 0
         self.num_deferrals = 0
         self.num_arrivals = 0
         self._start_time: Optional[float] = None
         self._end_time: float = 0.0
+        # Bounded-mode aggregates (unused -- and empty -- in exact mode).
+        self._num_finished = 0
+        self._tokens = 0
+        self._preemptions = 0
+        self._attained = 0
+        self._lat = StreamingStats(quantile_epsilon)
+        self._ttft = StreamingStats(quantile_epsilon)
+        self._tpot = StreamingStats(quantile_epsilon)
+        self._module_stats: Dict[str, StreamingStats] = {}
+        # Memoized summary: every observe_* invalidates, so repeated summary()
+        # calls (CLI + figures + tests on one result) pay O(N) exactly once.
+        self._cached_summary: Optional[SummaryStats] = None
 
     # -- recording ------------------------------------------------------------------
 
     def observe_arrival(self, now: float) -> None:
         self.num_arrivals += 1
+        self._cached_summary = None
         if self._start_time is None or now < self._start_time:
             self._start_time = now
         self._end_time = max(self._end_time, now)
@@ -142,6 +296,7 @@ class MetricsCollector:
     def observe_rejection(self, request: Request, now: float) -> None:
         """An arrival turned away by admission control (never served)."""
         self.num_rejected += 1
+        self._cached_summary = None
         if self._start_time is None or now < self._start_time:
             self._start_time = now
         self._end_time = max(self._end_time, now)
@@ -155,56 +310,130 @@ class MetricsCollector:
         over-report throughput/goodput.
         """
         self.num_deferrals += 1
+        self._cached_summary = None
         if self._start_time is None or now < self._start_time:
             self._start_time = now
         self._end_time = max(self._end_time, now)
 
     def observe_finish(self, request: Request) -> None:
-        self.records.append(RequestRecord.from_request(request))
+        record = RequestRecord.from_request(request)
+        self._cached_summary = None
+        if self.bounded_memory:
+            self._num_finished += 1
+            self._tokens += record.output_tokens
+            self._preemptions += record.num_preemptions
+            if self.slo.attained(record.ttft, record.tpot):
+                self._attained += 1
+            self._lat.add(record.normalized_latency)
+            self._ttft.add(record.ttft)
+            self._tpot.add(record.tpot)
+        else:
+            self.records.append(record)
         self._end_time = max(self._end_time, float(request.finish_time))
 
     def observe_module_times(self, module_times: Dict[str, float]) -> None:
         """Record one decode iteration's per-module latencies."""
-        for name, value in module_times.items():
-            self.module_samples.setdefault(name, []).append(float(value))
+        self._cached_summary = None
+        if self.bounded_memory:
+            for name, value in module_times.items():
+                stats = self._module_stats.get(name)
+                if stats is None:
+                    stats = self._module_stats[name] = StreamingStats(self.quantile_epsilon)
+                stats.add(value)
+        else:
+            for name, value in module_times.items():
+                self.module_samples.setdefault(name, []).append(float(value))
 
     # -- aggregation -----------------------------------------------------------------
 
     @property
     def num_finished(self) -> int:
-        return len(self.records)
+        return self._num_finished if self.bounded_memory else len(self.records)
 
     def summary(self) -> SummaryStats:
+        if self._cached_summary is None:
+            self._cached_summary = (
+                self._bounded_summary() if self.bounded_memory else self._exact_summary()
+            )
+        return self._cached_summary
+
+    def _duration(self) -> float:
         start = self._start_time or 0.0
-        duration = max(self._end_time - start, 1e-9)
-        lat = [r.normalized_latency for r in self.records]
-        ttft = [r.ttft for r in self.records]
-        tpot = [r.tpot for r in self.records]
-        tokens = sum(r.output_tokens for r in self.records)
-        num_attained = sum(1 for r in self.records if self.slo.attained(r.ttft, r.tpot))
+        return max(self._end_time - start, 1e-9)
+
+    def _exact_summary(self) -> SummaryStats:
+        duration = self._duration()
+        # One pass over the records fills the three metric arrays and the
+        # scalar accumulators together; the old path built three throwaway
+        # Python lists (plus two generator sweeps) on every call.
+        n = len(self.records)
+        lat = np.empty(n)
+        ttft = np.empty(n)
+        tpot = np.empty(n)
+        tokens = 0
+        preemptions = 0
+        num_attained = 0
+        slo = self.slo
+        for i, r in enumerate(self.records):
+            lat[i] = r.normalized_latency
+            ttft[i] = r.ttft
+            tpot[i] = r.tpot
+            tokens += r.output_tokens
+            preemptions += r.num_preemptions
+            if slo.attained(r.ttft, r.tpot):
+                num_attained += 1
         # Offered load = every admitted arrival (finished or not) plus every
         # rejection; using finished counts alone would overstate the rate on
         # runs truncated by max_simulated_time/max_events.
         num_offered = self.num_arrivals + self.num_rejected
         return SummaryStats(
-            num_finished=len(self.records),
+            num_finished=n,
             duration=duration,
-            mean_normalized_latency=float(np.mean(lat)) if lat else 0.0,
+            mean_normalized_latency=float(np.mean(lat)) if n else 0.0,
             p95_normalized_latency=percentile(lat, 95),
-            mean_ttft=float(np.mean(ttft)) if ttft else 0.0,
+            mean_ttft=float(np.mean(ttft)) if n else 0.0,
             p95_ttft=percentile(ttft, 95),
-            mean_tpot=float(np.mean(tpot)) if tpot else 0.0,
+            mean_tpot=float(np.mean(tpot)) if n else 0.0,
             p95_tpot=percentile(tpot, 95),
-            throughput_rps=len(self.records) / duration,
+            throughput_rps=n / duration,
             throughput_tokens_per_s=tokens / duration,
-            total_preemptions=sum(r.num_preemptions for r in self.records),
+            total_preemptions=preemptions,
             p95_module_latency={k: percentile(v, 95) for k, v in self.module_samples.items()},
             mean_module_latency={
                 k: float(np.mean(v)) if v else 0.0 for k, v in self.module_samples.items()
             },
             num_rejected=self.num_rejected,
             num_deferrals=self.num_deferrals,
-            slo_attainment=num_attained / len(self.records) if self.records else 1.0,
+            slo_attainment=num_attained / n if n else 1.0,
             goodput_rps=num_attained / duration,
+            rejection_rate=self.num_rejected / num_offered if num_offered else 0.0,
+        )
+
+    def _bounded_summary(self) -> SummaryStats:
+        duration = self._duration()
+        n = self._num_finished
+        num_offered = self.num_arrivals + self.num_rejected
+        return SummaryStats(
+            num_finished=n,
+            duration=duration,
+            mean_normalized_latency=self._lat.mean,
+            p95_normalized_latency=self._lat.quantile(0.95),
+            mean_ttft=self._ttft.mean,
+            p95_ttft=self._ttft.quantile(0.95),
+            mean_tpot=self._tpot.mean,
+            p95_tpot=self._tpot.quantile(0.95),
+            throughput_rps=n / duration,
+            throughput_tokens_per_s=self._tokens / duration,
+            total_preemptions=self._preemptions,
+            p95_module_latency={
+                k: v.quantile(0.95) for k, v in sorted(self._module_stats.items())
+            },
+            mean_module_latency={
+                k: v.mean for k, v in sorted(self._module_stats.items())
+            },
+            num_rejected=self.num_rejected,
+            num_deferrals=self.num_deferrals,
+            slo_attainment=self._attained / n if n else 1.0,
+            goodput_rps=self._attained / duration,
             rejection_rate=self.num_rejected / num_offered if num_offered else 0.0,
         )

@@ -10,22 +10,68 @@ plotting or for assertions in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 
 @dataclass
 class TimeSeriesRecorder:
-    """Append-only store of (time, value) samples per (series, key)."""
+    """Append-only store of (time, value) samples per (series, key).
+
+    ``max_samples_per_key`` caps memory for long runs: when a key's sample
+    list exceeds the cap it is thinned to every other point (the newest sample
+    is always kept, so ``last_value`` stays exact), giving an effective rollup
+    that coarsens as the run grows.  ``max_value`` stays exact under thinning
+    -- a running maximum is tracked per key at record time -- while
+    ``resample`` becomes an approximation at the thinned resolution.
+    ``samples_dropped`` counts the points discarded by thinning.
+
+    Query-path arrays for :meth:`resample` are cached per (series, key) and
+    invalidated on append, so repeated resampling of a settled recorder (the
+    plotting/report path) rebuilds nothing.
+    """
 
     samples: Dict[str, Dict[str, List[Tuple[float, float]]]] = field(default_factory=dict)
+    max_samples_per_key: Optional[int] = None
+    samples_dropped: int = 0
+    _max: Dict[Tuple[str, str], float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _arrays: Dict[Tuple[str, str], Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_samples_per_key is not None and self.max_samples_per_key < 2:
+            raise ValueError("max_samples_per_key must be >= 2 (or None for unbounded)")
+        # Seed the running maxima from constructor-provided samples so a
+        # recorder rebuilt from serialized data answers max_value correctly.
+        for series, by_key in self.samples.items():
+            for key, data in by_key.items():
+                if data:
+                    self._max[(series, key)] = max(v for _, v in data)
 
     def record(self, series: str, key: str, time: float, value: float) -> None:
         """Append one sample, e.g. ``record("cache_usage", "a100:0", 12.5, 0.73)``."""
         if time < 0:
             raise ValueError("time must be >= 0")
-        self.samples.setdefault(series, {}).setdefault(key, []).append((float(time), float(value)))
+        time = float(time)
+        value = float(value)
+        data = self.samples.setdefault(series, {}).setdefault(key, [])
+        data.append((time, value))
+        cache_key = (series, key)
+        prev = self._max.get(cache_key)
+        if prev is None or value > prev:
+            self._max[cache_key] = value
+        self._arrays.pop(cache_key, None)
+        cap = self.max_samples_per_key
+        if cap is not None and len(data) > cap:
+            # Thin to every other point, always keeping the newest sample.
+            kept = data[0:-1:2]
+            kept.append(data[-1])
+            self.samples_dropped += len(data) - len(kept)
+            data[:] = kept
 
     def record_many(self, series: str, time: float, values: Dict[str, float]) -> None:
         for key, value in values.items():
@@ -49,19 +95,28 @@ class TimeSeriesRecorder:
         return data[-1][1]
 
     def max_value(self, series: str, key: str) -> float:
+        return self._max.get((series, key), 0.0)
+
+    def _series_arrays(self, series: str, key: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        cache_key = (series, key)
+        cached = self._arrays.get(cache_key)
+        if cached is not None:
+            return cached
         data = self.samples.get(series, {}).get(key)
         if not data:
-            return 0.0
-        return max(v for _, v in data)
+            return None
+        times = np.array([t for t, _ in data])
+        values = np.array([v for _, v in data])
+        self._arrays[cache_key] = (times, values)
+        return times, values
 
     def resample(self, series: str, key: str, grid: Sequence[float]) -> np.ndarray:
         """Piecewise-constant (last observation carried forward) resampling."""
-        data = self.samples.get(series, {}).get(key, [])
         grid = np.asarray(list(grid), dtype=float)
-        if not data:
+        arrays = self._series_arrays(series, key)
+        if arrays is None:
             return np.zeros_like(grid)
-        times = np.array([t for t, _ in data])
-        values = np.array([v for _, v in data])
+        times, values = arrays
         idx = np.searchsorted(times, grid, side="right") - 1
         out = np.where(idx >= 0, values[np.clip(idx, 0, len(values) - 1)], 0.0)
         return out

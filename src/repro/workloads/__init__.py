@@ -19,13 +19,20 @@ from repro.workloads.datasets import (
 )
 from repro.workloads.arrivals import (
     poisson_arrivals,
+    poisson_arrival_stream,
     constant_rate_arrivals,
     piecewise_rate_arrivals,
+    piecewise_rate_arrival_stream,
     diurnal_phases,
     spike_phases,
     RatePhase,
 )
-from repro.workloads.trace import Trace, generate_trace
+from repro.workloads.trace import (
+    StreamingTrace,
+    Trace,
+    generate_trace,
+    generate_trace_stream,
+)
 
 __all__ = [
     "DatasetSpec",
@@ -35,11 +42,15 @@ __all__ = [
     "sample_requests",
     "RequestSample",
     "poisson_arrivals",
+    "poisson_arrival_stream",
     "constant_rate_arrivals",
     "piecewise_rate_arrivals",
+    "piecewise_rate_arrival_stream",
     "diurnal_phases",
     "spike_phases",
     "RatePhase",
+    "StreamingTrace",
     "Trace",
     "generate_trace",
+    "generate_trace_stream",
 ]

@@ -11,7 +11,7 @@ admission control.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
@@ -27,6 +27,25 @@ def poisson_arrivals(rate: float, n: int, seed: int | np.random.Generator = 0, s
     rng = make_rng(seed)
     gaps = rng.exponential(1.0 / rate, size=n)
     return list(start + np.cumsum(gaps))
+
+
+def poisson_arrival_stream(
+    rate: float, seed: int | np.random.Generator = 0, start: float = 0.0
+) -> Iterator[float]:
+    """Endless stream of Poisson arrival timestamps at ``rate`` requests/s.
+
+    The lazy counterpart of :func:`poisson_arrivals`: gaps are drawn one at a
+    time from the same generator type, so the stream is deterministic given a
+    seed and never materializes more than the timestamp being yielded.  The
+    caller bounds consumption (``itertools.islice`` or a request cap).
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    rng = make_rng(seed)
+    t = start
+    while True:
+        t += rng.exponential(1.0 / rate)
+        yield t
 
 
 def constant_rate_arrivals(rate: float, n: int, start: float = 0.0) -> List[float]:
@@ -79,6 +98,34 @@ def piecewise_rate_arrivals(
                 arrivals.append(cur)
         t = end
     return arrivals
+
+
+def piecewise_rate_arrival_stream(
+    phases: Sequence[RatePhase],
+    seed: int | np.random.Generator = 0,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Lazy counterpart of :func:`piecewise_rate_arrivals`.
+
+    Draws gap-by-gap in exactly the order the list version does, so the
+    yielded timestamps are bit-identical to ``piecewise_rate_arrivals`` with
+    the same seed -- without ever holding the full schedule's arrivals in
+    memory.  The stream is finite: it ends when the last phase does.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    rng = make_rng(seed)
+    t = start
+    for phase in phases:
+        end = t + phase.duration
+        if phase.rate > 0:
+            cur = t
+            while True:
+                cur += rng.exponential(1.0 / phase.rate)
+                if cur >= end:
+                    break
+                yield cur
+        t = end
 
 
 def diurnal_phases(

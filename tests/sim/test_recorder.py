@@ -100,3 +100,39 @@ class TestPrefixedRecorderView:
         inner = PrefixedRecorderView(PrefixedRecorderView(rec, "outer/"), "inner/")
         inner.record("s", "k", 0.0, 1.0)
         assert rec.keys("s") == ["outer/inner/k"]
+
+
+class TestBoundedRecorder:
+    def test_downsampling_caps_length_and_keeps_extremes(self):
+        rec = TimeSeriesRecorder(max_samples_per_key=8)
+        for i in range(100):
+            rec.record("s", "k", float(i), float(i))
+        data = rec.raw("s", "k")
+        assert len(data) <= 8
+        assert data[-1] == (99.0, 99.0)  # newest sample always survives
+        assert rec.last_value("s", "k") == 99.0
+        assert rec.samples_dropped > 0
+
+    def test_max_value_exact_under_downsampling(self):
+        rec = TimeSeriesRecorder(max_samples_per_key=4)
+        values = [3.0, 97.0, 1.0, 5.0, 2.0, 8.0, 4.0, 6.0, 7.0]
+        for i, v in enumerate(values):
+            rec.record("s", "k", float(i), v)
+        # 97.0 may have been thinned out of the sample list, but the running
+        # maximum never forgets it.
+        assert rec.max_value("s", "k") == 97.0
+
+    def test_resample_cache_invalidated_on_append(self):
+        rec = TimeSeriesRecorder()
+        rec.record("s", "k", 1.0, 10.0)
+        assert np.allclose(rec.resample("s", "k", [1.0, 2.0]), [10.0, 10.0])
+        rec.record("s", "k", 2.0, 20.0)  # must invalidate the cached arrays
+        assert np.allclose(rec.resample("s", "k", [1.0, 2.0]), [10.0, 20.0])
+
+    def test_max_seeded_from_constructor_samples(self):
+        rec = TimeSeriesRecorder(samples={"s": {"k": [(0.0, 5.0), (1.0, 3.0)]}})
+        assert rec.max_value("s", "k") == 5.0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(max_samples_per_key=1)

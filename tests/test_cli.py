@@ -416,3 +416,44 @@ def test_run_rejects_bad_builder_options_cleanly(tmp_path):
     config = dict(BASE_CONFIG, system={"name": "static-tp", "options": {"bogus": 1}})
     with pytest.raises(SystemExit, match="error: building .*bogus"):
         main(["run", write_config(tmp_path, config), "--dry-run"], out=io.StringIO())
+
+
+# ---------------------------------------------------------------- streaming / truncation
+
+
+def test_serve_streaming_bounded_memory():
+    code, text = run_cli(
+        ["serve", "--system", "static-tp", "--gpus", "a100:1",
+         "--dataset", "sharegpt", "--rate", "8", "--requests", "8",
+         "--streaming", "--bounded-memory"]
+    )
+    assert code == 0
+    assert "static-tp" in text
+
+
+def test_run_warns_on_truncated_run(tmp_path):
+    config = dict(BASE_CONFIG)
+    config["max_simulated_time"] = 0.5  # cuts the 6-request run short
+    code, text = run_cli(["run", write_config(tmp_path, config)])
+    assert code == 0
+    assert "warning: run truncated (max_simulated_time)" in text
+
+
+def test_run_dry_run_streaming_trace(tmp_path):
+    config = dict(BASE_CONFIG)
+    config["workload"] = dict(config["workload"], streaming=True)
+    code, text = run_cli(["run", write_config(tmp_path, config), "--dry-run"])
+    assert code == 0
+    assert "streaming" in text
+
+
+def test_sweep_rows_flag_truncation(tmp_path):
+    config = dict(BASE_CONFIG)
+    config["max_simulated_time"] = 0.5
+    out = tmp_path / "rows.csv"
+    code, text = run_cli(["sweep", write_config(tmp_path, config), "--out", str(out)])
+    assert code == 0
+    assert "[TRUNCATED: max_simulated_time]" in text
+    header, row = out.read_text().splitlines()[:2]
+    assert header.split(",")[-1] == "truncated"
+    assert row.split(",")[-1] == "True"

@@ -363,3 +363,69 @@ class TestReviewHardening:
         monkeypatch.setattr(api, "generate_trace", boom)
         system = api.build_replicated_system("static-tp", "llama-13b", 2, cluster_kind="small")
         assert len(system.replicas) == 2
+
+
+class TestMetricsSpec:
+    def test_defaults_round_trip(self):
+        from repro.config import MetricsSpec
+
+        spec = DeploymentSpec.from_dict({"metrics": {"mode": "bounded"}})
+        assert isinstance(spec.metrics, MetricsSpec)
+        assert spec.metrics.bounded
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+        # Absent section stays None (exact mode, legacy-identical).
+        assert DeploymentSpec.from_dict({}).metrics is None
+
+    def test_validation(self):
+        from repro.config import MetricsSpec
+
+        with pytest.raises(ConfigError, match="metrics.mode"):
+            MetricsSpec(mode="approximate")
+        with pytest.raises(ConfigError, match="quantile_epsilon"):
+            MetricsSpec(quantile_epsilon=0.5)
+        with pytest.raises(ConfigError, match="max_recorder_samples_per_key"):
+            MetricsSpec(max_recorder_samples_per_key=1)
+        with pytest.raises(ConfigError, match="unknown key"):
+            DeploymentSpec.from_dict({"metrics": {"md": "exact"}})
+
+    def test_override_path(self):
+        spec = DeploymentSpec.from_dict({}).with_overrides({"metrics.mode": "bounded"})
+        assert spec.metrics is not None and spec.metrics.bounded
+        with pytest.raises(ConfigError, match="unknown field"):
+            DeploymentSpec.from_dict({}).with_overrides({"metrics.bogus": 1})
+
+    def test_builders(self):
+        from repro.config import MetricsSpec
+
+        collector = MetricsSpec(mode="bounded", quantile_epsilon=0.02).build_collector()
+        assert collector.bounded_memory and collector.quantile_epsilon == 0.02
+        recorder = MetricsSpec(max_recorder_samples_per_key=16).build_recorder()
+        assert recorder.max_samples_per_key == 16
+
+    def test_workload_streaming_round_trip(self):
+        spec = DeploymentSpec.from_dict({"workload": {"streaming": True, "num_requests": 8}})
+        assert spec.workload.streaming
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ConfigError, match="num_requests > 0"):
+            DeploymentSpec.from_dict({"workload": {"streaming": True, "num_requests": 0}})
+
+    def test_streaming_bounded_run_end_to_end(self):
+        spec = DeploymentSpec.from_dict(
+            {
+                "system": {"name": "static-tp"},
+                "cluster": {"kind": "small"},
+                "workload": {
+                    "dataset": "sharegpt",
+                    "request_rate": 8.0,
+                    "num_requests": 12,
+                    "streaming": True,
+                },
+                "metrics": {"mode": "bounded", "max_recorder_samples_per_key": 64},
+            }
+        )
+        result = run(spec)
+        assert result.summary.num_finished == 12
+        assert result.metrics.bounded_memory
+        assert result.metrics.records == []
+        assert result.recorder.max_samples_per_key == 64
+        assert not result.truncated

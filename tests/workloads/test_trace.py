@@ -60,3 +60,44 @@ def test_empty_trace_properties():
     assert trace.duration == 0.0
     assert trace.mean_context_tokens == 0.0
     assert len(trace) == 0
+
+
+# ------------------------------------------------------------------ streaming
+
+
+def test_stream_phase_arrivals_bit_identical_to_list():
+    from repro.workloads.arrivals import piecewise_rate_arrival_stream, piecewise_rate_arrivals
+
+    phases = [RatePhase(rate=5.0, duration=10.0), RatePhase(rate=0.0, duration=5.0),
+              RatePhase(rate=2.5, duration=10.0)]
+    assert list(piecewise_rate_arrival_stream(phases, seed=7)) == piecewise_rate_arrivals(
+        phases, seed=7
+    )
+
+
+def test_generate_trace_stream_phases_matches_list_timestamps():
+    from repro.workloads.trace import generate_trace_stream
+
+    phases = [RatePhase(rate=8.0, duration=20.0)]
+    trace = generate_trace("sharegpt", 0.0, num_requests=0, seed=3, phases=phases)
+    stream = generate_trace_stream("sharegpt", 0.0, num_requests=0, seed=3, phases=phases)
+    assert [e.arrival_time for e in stream] == [e.arrival_time for e in trace]
+
+
+def test_generate_trace_stream_is_deterministic_and_capped():
+    from repro.workloads.trace import generate_trace_stream
+
+    stream = generate_trace_stream("sharegpt", 5.0, 20, seed=0, chunk_size=7)
+    a, b = list(stream), list(stream)
+    assert a == b
+    assert len(a) == 20
+    assert all(x.arrival_time <= y.arrival_time for x, y in zip(a, a[1:]))
+
+
+def test_generate_trace_stream_rejects_unbounded_poisson():
+    from repro.workloads.trace import generate_trace_stream
+
+    with pytest.raises(ValueError, match="never terminates"):
+        generate_trace_stream("sharegpt", 5.0, 0, seed=0)
+    with pytest.raises(ValueError, match="chunk_size"):
+        generate_trace_stream("sharegpt", 5.0, 10, chunk_size=0)
