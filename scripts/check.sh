@@ -34,6 +34,26 @@ for cfg in examples/configs/*.json examples/configs/*.toml; do
 done
 shopt -u nullglob
 
+# Static analysis gate: the repo's own AST linter (determinism and spec
+# invariants -- see README "Static analysis").  Blocking: any finding not in
+# lint-baseline.json fails the build.  ruff and mypy run when available; the
+# container image does not ship them, so locally they are best-effort while
+# the CI lint job always installs and enforces both.
+echo "== repro lint (determinism & spec invariants) =="
+python -m repro lint src
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests scripts benchmarks
+else
+    echo "== ruff not installed; skipped locally (enforced in CI) =="
+fi
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy
+else
+    echo "== mypy not installed; skipped locally (enforced in CI) =="
+fi
+
 echo "== fast tier: pytest -m 'not slow' =="
 python -m pytest -m "not slow" -q
 

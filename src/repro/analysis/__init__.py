@@ -1,0 +1,36 @@
+"""Static analysis for determinism and spec invariants (`repro lint`).
+
+Public surface:
+
+* :func:`~repro.analysis.engine.lint_paths` / ``lint_source`` -- run the rules.
+* :data:`~repro.analysis.rules.LINT_RULES` -- the rule registry (plugin point).
+* :class:`~repro.analysis.rules.LintRule` -- base class for new rules.
+* :class:`~repro.analysis.baseline.Baseline` -- grandfathered-finding store.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineError, DEFAULT_BASELINE
+from repro.analysis.engine import LintReport, lint_paths, lint_source
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    DETERMINISM_SCOPES,
+    LINT_RULES,
+    METRICS_SCOPES,
+    LintRule,
+    ModuleContext,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE",
+    "DETERMINISM_SCOPES",
+    "Finding",
+    "LINT_RULES",
+    "LintReport",
+    "LintRule",
+    "METRICS_SCOPES",
+    "ModuleContext",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,144 @@
+"""Checked-in baseline of grandfathered lint findings.
+
+The baseline lets `repro lint` gate on *new* findings only: every entry names
+a known violation -- matched on ``(code, path, message)`` so line-number
+drift from unrelated edits never resurrects it -- together with a written
+justification for why it is allowed to stay.  An entry with an empty
+justification is itself an error: "grandfathered" must mean "someone decided
+this is fine and said why", not "nobody looked".
+
+Entries that no longer match anything are reported as stale so the file
+shrinks as violations get fixed, instead of accreting dead exemptions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up in the current directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed; the message names the problem."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and the reason it is tolerated."""
+
+    code: str
+    path: str
+    message: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """The set of grandfathered findings, with split/match bookkeeping."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON ({exc})") from None
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(f"{path}: expected {{'version', 'entries': [...]}}")
+        version = data.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: baseline version {version!r} is not supported "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = []
+        for idx, raw in enumerate(data["entries"]):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"{path}: entries[{idx}] must be a mapping")
+            missing = sorted({"code", "path", "message", "justification"} - set(raw))
+            if missing:
+                raise BaselineError(
+                    f"{path}: entries[{idx}] missing key(s): {', '.join(missing)}"
+                )
+            entry = BaselineEntry(
+                code=str(raw["code"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                justification=str(raw["justification"]),
+            )
+            if not entry.justification.strip():
+                raise BaselineError(
+                    f"{path}: entries[{idx}] ({entry.code} in {entry.path}) has "
+                    "no justification; every grandfathered finding must say "
+                    "why it is allowed to stay"
+                )
+            entries.append(entry)
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str = "TODO: justify or fix"
+    ) -> "Baseline":
+        seen: Set[Tuple[str, str, str]] = set()
+        entries = []
+        for finding in findings:
+            if finding.identity() in seen:
+                continue
+            seen.add(finding.identity())
+            entries.append(
+                BaselineEntry(
+                    code=finding.code,
+                    path=finding.path,
+                    message=finding.message,
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    def save(self, path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_dict() for e in sorted(self.entries, key=BaselineEntry.key)],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition findings into (new, grandfathered) + stale entries."""
+        keys = {entry.key() for entry in self.entries}
+        matched: Set[Tuple[str, str, str]] = set()
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            if finding.identity() in keys:
+                matched.add(finding.identity())
+                old.append(finding)
+            else:
+                new.append(finding)
+        stale = [entry for entry in self.entries if entry.key() not in matched]
+        return new, old, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

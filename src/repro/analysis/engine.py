@@ -1,0 +1,177 @@
+"""The lint engine: file discovery, suppression parsing, rule dispatch.
+
+``lint_paths`` is the whole pipeline: walk the given files/directories in
+sorted order, parse each module once, run every registered rule whose scope
+matches the file's path, drop findings suppressed by an inline
+``# repro: noqa[CODE]`` comment, then split the remainder against the
+baseline.  Results are deterministic by construction (sorted file order,
+sorted findings) -- a linter that polices determinism had better not be a
+source of it.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.rules import LINT_RULES, LintRule, ModuleContext
+
+#: ``# repro: noqa`` (all codes) or ``# repro: noqa[DET001,FLT001]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?", re.IGNORECASE)
+
+#: Rule code of findings synthesised for unparseable files.
+SYNTAX_CODE = "SYNTAX"
+
+
+@dataclass
+class LintReport:  # repro: noqa[SPEC001] -- mutable run report, not a serialized spec
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)  # new (gate on these)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "ok": self.ok,
+        }
+
+
+def iter_python_files(paths: Sequence) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in deterministic sorted order."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    yield candidate
+        elif path.suffix == ".py" or path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"lint path {str(path)!r} does not exist")
+
+
+def normalize_path(path, root: Optional[Path] = None) -> str:
+    """POSIX path relative to ``root`` (default cwd); absolute if outside."""
+    path = Path(path)
+    base = Path(root) if root is not None else Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """``{line: codes}`` from ``# repro: noqa`` comments (``None`` = all)."""
+    result: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            codes = match.group(1)
+            if codes is None:
+                result[line] = None
+            else:
+                parsed = {c.strip().upper() for c in codes.split(",") if c.strip()}
+                existing = result.get(line, set())
+                if existing is None or not parsed:
+                    result[line] = None
+                else:
+                    result[line] = existing | parsed
+    except tokenize.TokenError:
+        pass  # the ast parse will report the real problem
+    return result
+
+
+def _scope_parts(path: Path) -> FrozenSet[str]:
+    return frozenset(path.parts[:-1])
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    scope_parts: Optional[FrozenSet[str]] = None,
+    rules: Optional[Iterable[type]] = None,
+) -> List[Finding]:
+    """Lint one module's source; returns sorted, noqa-filtered findings."""
+    if scope_parts is None:
+        scope_parts = _scope_parts(Path(path))
+    ctx = ModuleContext(path=path, scope_parts=scope_parts)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code=SYNTAX_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    rule_classes = list(rules) if rules is not None else list(LINT_RULES.values())
+    findings: List[Finding] = []
+    for rule_cls in rule_classes:
+        if not issubclass(rule_cls, LintRule):  # pragma: no cover - plugin misuse
+            raise TypeError(f"lint rule {rule_cls!r} must subclass LintRule")
+        if rule_cls.applies_to(ctx):
+            findings.extend(rule_cls(ctx).run(tree))
+    suppressed = _suppressions(source)
+    kept = []
+    for finding in findings:
+        codes = suppressed.get(finding.line, _MISSING)
+        if codes is _MISSING:
+            kept.append(finding)
+        elif codes is not None and finding.code not in codes:
+            kept.append(finding)
+    return sorted(kept)
+
+
+_MISSING = object()
+
+
+def lint_paths(
+    paths: Sequence,
+    *,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Iterable[type]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint files/directories and split the findings against ``baseline``."""
+    report = LintReport()
+    all_findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        rel = normalize_path(file_path, root=root)
+        source = file_path.read_text()
+        all_findings.extend(lint_source(source, rel, rules=rules))
+        report.files_checked += 1
+    all_findings.sort()
+    if baseline is None:
+        report.findings = all_findings
+    else:
+        report.findings, report.baselined, report.stale_baseline = baseline.split(
+            all_findings
+        )
+    return report

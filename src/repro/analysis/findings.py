@@ -1,0 +1,40 @@
+"""Finding: one static-analysis violation, and how it prints.
+
+A finding's :meth:`identity` deliberately excludes the line/column: baseline
+entries match on ``(code, path, message)`` so that grandfathered findings
+survive unrelated edits that shift line numbers, while any *new* violation --
+even an identical call one function over -- changes the message context and
+shows up as new.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def identity(self) -> Tuple[str, str, str]:
+        """Baseline-matching key: stable across line-number drift."""
+        return (self.code, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

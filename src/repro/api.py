@@ -52,7 +52,7 @@ from repro.models.spec import MODEL_CATALOG, get_model_spec
 from repro.sim.engine import Engine, ServingSystem, SimulationResult
 from repro.sim.metrics import SLOSpec
 from repro.sim.scheduler import SchedulerLimits
-from repro.systems import SYSTEMS, default_hint
+from repro.systems import SYSTEMS, default_hint  # noqa: F401  (re-exported API surface)
 from repro.workloads.arrivals import RatePhase
 from repro.workloads.datasets import DATASETS
 from repro.workloads.trace import (
@@ -289,7 +289,7 @@ def build(
     )
 
 
-def run(spec: DeploymentSpec, **build_overrides) -> SimulationResult:
+def run(spec: DeploymentSpec, **build_overrides: Any) -> SimulationResult:
     """Build and simulate a :class:`DeploymentSpec` end to end."""
     return build(spec, **build_overrides).run()
 
@@ -331,7 +331,7 @@ def build_system(
     dataset: str = "sharegpt",
     limits: Optional[SchedulerLimits] = None,
     prefill_chunk_tokens: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> ServingSystem:
     """Build a named serving system (``hetis``, ``hexgen``, ``splitwise``, ``static-tp``).
 
@@ -357,7 +357,7 @@ def build_replicated_system(
     autoscaler: "str | AutoscalerPolicy | None" = None,
     admission: "str | AdmissionController | None" = None,
     prefill_chunk_tokens: Optional[int] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> ClusterServingSystem:
     """Build ``num_replicas`` copies of a serving system behind a router.
 
@@ -431,7 +431,7 @@ def quick_serve(
     slo: Optional[SLOSpec] = None,
     prefill_chunk_tokens: Optional[int] = None,
     limits: Optional[SchedulerLimits] = None,
-    **system_kwargs,
+    **system_kwargs: Any,
 ) -> SimulationResult:
     """One-call end-to-end simulation: build cluster + system + trace, then run.
 

@@ -68,7 +68,7 @@ def _repair_for_memory(
         layers[j] += 1
     if any(layers[i] > caps[i] for i in range(n)):
         return None
-    if any(l <= 0 for l in layers):
+    if any(n_layers <= 0 for n_layers in layers):
         # Drop empty stages by merging their quota into the largest stage.
         return None
     return layers

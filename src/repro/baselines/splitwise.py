@@ -11,7 +11,7 @@ produce the cache-capacity penalty the paper highlights (Fig. 1a / Fig. 11).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.hardware.cluster import Cluster
 from repro.hardware.gpu import GPUDevice

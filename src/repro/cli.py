@@ -32,6 +32,11 @@ Six subcommands cover the common workflows:
     deployment with its grid axes (see ``examples/configs/fig14_grid.toml``),
     executed through the same parallel, cached runner as ``sweep``.
 
+``lint``
+    Run the determinism / spec-invariant static-analysis rules
+    (:mod:`repro.analysis`) over source paths and exit non-zero on findings
+    not grandfathered in the checked-in baseline file.
+
 Examples
 --------
     python -m repro plan --model llama-70b --gpus a100:4 rtx3090:2 rtx3090:2 p100:4
@@ -46,6 +51,7 @@ Examples
     python -m repro sweep deployment.json --grid workload.request_rate=2,4,8 \
         --grid router.name=round-robin,least-kv --out sweep.csv --jobs 4 --cache .sweep-cache
     python -m repro experiment examples/configs/fig14_grid.toml --jobs 4
+    python -m repro lint src/ --format json
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ import argparse
 import csv
 import json
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api import (
@@ -252,6 +259,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the config and list the grid points without running",
     )
     _add_runner_args(exp_p)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static analysis: determinism & spec-invariant rules over source paths",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    lint_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings "
+             "(default: lint-baseline.json if present)",
+    )
+    lint_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    lint_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather the current findings: merge them into the baseline "
+             "file (new entries get a TODO justification to fill in) and exit 0",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rule codes and exit",
+    )
     return parser
 
 
@@ -669,6 +707,70 @@ def cmd_experiment(args: argparse.Namespace, out=sys.stdout) -> int:
     return _run_grid_points(combos, axis_names, args, out)
 
 
+def cmd_lint(args: argparse.Namespace, out=sys.stdout) -> int:
+    # Imported lazily: the analysis subsystem is only needed by this command.
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        LINT_RULES,
+        Baseline,
+        BaselineError,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        print(LINT_RULES.help_text(), file=out)
+        return 0
+    paths = args.paths or ["src"]
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline:
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                raise SystemExit(f"error: {exc}") from None
+        elif args.baseline:
+            raise SystemExit(f"error: baseline file {args.baseline!r} does not exist")
+    try:
+        report = lint_paths(paths, baseline=baseline)
+    except (FileNotFoundError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.write_baseline:
+        stale = {entry.key() for entry in report.stale_baseline}
+        kept = [e for e in (baseline.entries if baseline else []) if e.key() not in stale]
+        merged = Baseline(kept + Baseline.from_findings(report.findings).entries)
+        merged.save(baseline_path)
+        print(
+            f"wrote {len(merged)} baseline entr{'y' if len(merged) == 1 else 'ies'} "
+            f"to {baseline_path} (new entries carry a TODO justification)",
+            file=out,
+        )
+        return 0
+    if args.format == "json":
+        json.dump(report.to_dict(), out, indent=2)
+        out.write("\n")
+        return 0 if report.ok else 1
+    for finding in report.findings:
+        print(finding.format(), file=out)
+    for entry in report.stale_baseline:
+        print(
+            f"warning: stale baseline entry {entry.code} in {entry.path} "
+            "matches nothing; remove it from the baseline file",
+            file=out,
+        )
+    summary = (
+        f"{report.files_checked} file(s) checked: "
+        f"{len(report.findings)} new finding(s), "
+        f"{len(report.baselined)} baselined"
+    )
+    if report.stale_baseline:
+        summary += f", {len(report.stale_baseline)} stale baseline entr" + (
+            "y" if len(report.stale_baseline) == 1 else "ies"
+        )
+    print(summary, file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     """Entry point used by ``python -m repro`` and by the tests."""
     args = build_parser().parse_args(argv)
@@ -684,6 +786,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return cmd_sweep(args, out)
     if args.command == "experiment":
         return cmd_experiment(args, out)
+    if args.command == "lint":
+        return cmd_lint(args, out)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
 
 

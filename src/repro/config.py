@@ -35,7 +35,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cluster_system import ROUTERS
 from repro.core.elasticity import (
@@ -46,6 +46,7 @@ from repro.core.elasticity import (
 )
 from repro.hardware.cluster import parse_blueprint
 from repro.models.spec import MODEL_CATALOG
+from repro.registry import Registry
 from repro.sim.metrics import MetricsCollector, SLOSpec
 from repro.sim.recorder import TimeSeriesRecorder
 from repro.sim.scheduler import SchedulerLimits
@@ -62,7 +63,7 @@ class ConfigError(ValueError):
     """A deployment spec failed validation; the message names the field."""
 
 
-def load_config_mapping(path) -> Dict[str, Any]:
+def load_config_mapping(path: "str | Path") -> Dict[str, Any]:
     """Read a ``.json`` or ``.toml`` file into a plain mapping.
 
     Shared by :meth:`DeploymentSpec.load` and the experiment driver
@@ -108,7 +109,7 @@ def _check(condition: bool, message: str) -> None:
         raise ConfigError(message)
 
 
-def _check_name(registry, name: str, where: str) -> str:
+def _check_name(registry: "Registry[Any]", name: str, where: str) -> str:
     """Resolve ``name`` in ``registry``, re-pointing the error at ``where``."""
     try:
         return registry.resolve(name)
@@ -116,7 +117,7 @@ def _check_name(registry, name: str, where: str) -> str:
         raise ConfigError(f"{where}: {exc}") from None
 
 
-def _check_mapping(value, where: str) -> Dict[str, Any]:
+def _check_mapping(value: "Mapping[str, Any] | None", where: str) -> Dict[str, Any]:
     _check(
         value is None or isinstance(value, Mapping),
         f"{where} must be a mapping of keyword arguments, got {type(value).__name__}",
@@ -299,7 +300,7 @@ class RouterSpec:
         object.__setattr__(self, "name", _check_name(ROUTERS, self.name, "router.name"))
         object.__setattr__(self, "options", _check_mapping(self.options, "router.options"))
 
-    def build(self, seed: int = 0):
+    def build(self, seed: int = 0) -> Any:
         """Instantiate the router (fresh state each call)."""
         factory = ROUTERS.require(self.name)
         if self.options:
@@ -530,7 +531,7 @@ class WorkloadSpec:
             object.__setattr__(self, "phases", phases)
 
     @staticmethod
-    def _coerce_phase(value, index: int) -> RatePhase:
+    def _coerce_phase(value: Any, index: int) -> RatePhase:
         if isinstance(value, RatePhase):
             return value
         try:
@@ -708,7 +709,7 @@ class DeploymentSpec:
         _check(isinstance(data, Mapping), f"deployment spec must be a mapping, got {type(data).__name__}")
         _reject_unknown_keys(cls, data, "deployment spec")
 
-        def sub(key, loader, default):
+        def sub(key: str, loader: Callable[[Mapping[str, Any]], Any], default: Any) -> Any:
             value = data.get(key)
             if value is None:
                 return default() if callable(default) else default
@@ -732,7 +733,7 @@ class DeploymentSpec:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     @classmethod
-    def load(cls, path) -> "DeploymentSpec":
+    def load(cls, path: "str | Path") -> "DeploymentSpec":
         """Load a spec from a ``.json`` or ``.toml`` file."""
         data = load_config_mapping(path)
         try:
@@ -740,7 +741,7 @@ class DeploymentSpec:
         except ConfigError as exc:
             raise ConfigError(f"{path}: {exc}") from None
 
-    def save(self, path) -> None:
+    def save(self, path: "str | Path") -> None:
         """Write the spec as JSON (the canonical interchange format)."""
         path = Path(path)
         if path.suffix.lower() != ".json":

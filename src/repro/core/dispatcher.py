@@ -22,7 +22,7 @@ Two practical behaviours from the paper are implemented on top of the raw LP:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

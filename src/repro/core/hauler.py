@@ -10,8 +10,8 @@ ongoing inference versus how much leaks into iteration latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, Mapping
 
 from repro.hardware.cluster import Cluster
 from repro.kvcache.migration import MigrationPlan, plan_head_migration

@@ -28,14 +28,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.hardware.cluster import Cluster
 from repro.hardware.gpu import GPUDevice
 from repro.models.flops import BatchProfile
 from repro.models.spec import ModelSpec
 from repro.parallel.config import ClusterParallelConfig, InstanceParallelConfig, StageConfig
-from repro.parallel.partitioner import max_stage_cost, partition_layers_balanced
+from repro.parallel.partitioner import partition_layers_balanced
 from repro.parallel.placement import feasible_instance_counts, group_devices_evenly
 from repro.perf.commcost import CommModel
 from repro.perf.roofline import RooflineExecutor

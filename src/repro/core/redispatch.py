@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.core.attention_parallel import HeadSplit
-from repro.core.dispatcher import Dispatcher, DispatchTarget
+from repro.core.dispatcher import Dispatcher
 from repro.models.spec import ModelSpec
 
 

@@ -50,7 +50,7 @@ def run_theta_sensitivity(
             latencies.append(run_system(system, trace).summary.mean_normalized_latency)
         default_idx = list(thetas).index(0.5) if 0.5 in thetas else len(thetas) // 2
         baseline = latencies[default_idx] or 1.0
-        result.latency_ratio[dataset] = [l / baseline for l in latencies]
+        result.latency_ratio[dataset] = [lat / baseline for lat in latencies]
     return result
 
 

@@ -12,7 +12,7 @@ clusters).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.core.parallelizer import Parallelizer, WorkloadHint
 from repro.hardware.cluster import Cluster, ClusterBuilder, paper_cluster

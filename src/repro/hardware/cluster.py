@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.hardware.gpu import GPUDevice, GPUSpec, get_gpu_spec
 from repro.hardware.interconnect import Interconnect, Link

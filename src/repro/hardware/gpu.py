@@ -17,8 +17,8 @@ The calibration is validated by ``tests/perf/test_calibration.py``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict
 
 from repro.utils.units import gb_to_bytes, giga, tera
 from repro.utils.validation import check_positive

@@ -11,7 +11,7 @@ preemption behaviour depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.utils.validation import check_positive
 

@@ -78,7 +78,7 @@ def plan_head_migration(
         (devices gaining heads).  The pairing order is deterministic (sorted
         device ids) so the simulator is reproducible.
     """
-    devices = set(old_allocation) | set(new_allocation)
+    devices = sorted(set(old_allocation) | set(new_allocation))
     old_total = sum(old_allocation.get(d, 0) for d in devices)
     new_total = sum(new_allocation.get(d, 0) for d in devices)
     if old_total != new_total:

@@ -20,7 +20,7 @@ needed by head-wise dynamic Attention parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 from repro.models.spec import ModelSpec
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, Generic, Iterator, List, Tuple, TypeVar
+from typing import Any, Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -77,7 +77,7 @@ class Registry(Mapping, Generic[T]):
         help: str = "",
         aliases: Tuple[str, ...] = (),
         overwrite: bool = False,
-    ):
+    ) -> "T | Callable[[T], T]":
         """Register ``value`` under ``name``; usable directly or as a decorator.
 
         Direct form: ``REG.register("name", factory, help="...")`` returns the
@@ -136,7 +136,7 @@ class Registry(Mapping, Generic[T]):
         """Full :class:`RegistryEntry` for ``name`` (follows aliases)."""
         return self._entries[self.resolve(name)]
 
-    def get(self, name: str, default=None):  # type: ignore[override]
+    def get(self, name: str, default: Optional[T] = None) -> Optional[T]:  # type: ignore[override]
         """Mapping-style ``get``: registered value or ``default``."""
         try:
             return self._entries[self._aliases.get(name, name)].value
@@ -147,7 +147,7 @@ class Registry(Mapping, Generic[T]):
         """Registered value for ``name``; raises the actionable ValueError."""
         return self._entries[self.resolve(name)].value
 
-    def create(self, name: str, *args, **kwargs):
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Call the registered factory for ``name`` with the given arguments."""
         factory = self.require(name)
         if not callable(factory):

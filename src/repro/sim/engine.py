@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.iteration import Iteration, IterationOutcome

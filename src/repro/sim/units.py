@@ -19,7 +19,7 @@ from repro.hardware.cluster import Cluster
 from repro.kvcache.block_manager import PagedBlockManager
 from repro.models.flops import BatchProfile, LayerCostModel
 from repro.models.spec import ModelSpec
-from repro.parallel.config import InstanceParallelConfig, StageConfig
+from repro.parallel.config import InstanceParallelConfig
 from repro.perf.commcost import CommModel
 from repro.perf.roofline import RooflineExecutor
 from repro.sim.iteration import Handoff, Iteration, IterationOutcome

@@ -20,8 +20,8 @@ the marginal per-token-head cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 from scipy.optimize import linprog

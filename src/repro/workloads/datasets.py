@@ -17,7 +17,7 @@ reported for production LLM traffic, and clipped to sane per-dataset ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -1,0 +1,144 @@
+"""Suppression (`# repro: noqa[...]`) and baseline mechanics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, BaselineError, Finding, lint_paths, lint_source
+
+SIM_SCOPE = frozenset({"src", "repro", "sim"})
+
+
+# ----------------------------------------------------------------- suppression
+
+
+def test_noqa_bare_suppresses_every_code_on_the_line():
+    source = "import time\n\ndef f():\n    return time.time()  # repro: noqa\n"
+    assert lint_source(source, "x.py", scope_parts=SIM_SCOPE) == []
+
+
+def test_noqa_with_code_suppresses_only_that_code():
+    source = (
+        "import time\n"
+        "def f(x):\n"
+        "    return time.time() == 0.5  # repro: noqa[FLT001]\n"
+    )
+    findings = lint_source(source, "x.py", scope_parts=SIM_SCOPE)
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_noqa_with_multiple_codes_and_case_insensitivity():
+    source = (
+        "import time\n"
+        "def f(x):\n"
+        "    return time.time() == 0.5  # REPRO: NoQA[det001, flt001]\n"
+    )
+    assert lint_source(source, "x.py", scope_parts=SIM_SCOPE) == []
+
+
+def test_noqa_on_other_line_does_not_suppress():
+    source = (
+        "import time  # repro: noqa[DET001]\n"
+        "def f():\n"
+        "    return time.time()\n"
+    )
+    findings = lint_source(source, "x.py", scope_parts=SIM_SCOPE)
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_noqa_with_wrong_code_does_not_suppress():
+    source = "import time\ndef f():\n    return time.time()  # repro: noqa[DET999]\n"
+    findings = lint_source(source, "x.py", scope_parts=SIM_SCOPE)
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_noqa_inside_string_literal_is_not_a_suppression():
+    source = (
+        "import time\n"
+        "def f():\n"
+        '    note = "# repro: noqa"\n'
+        "    return time.time(), note\n"
+    )
+    findings = lint_source(source, "x.py", scope_parts=SIM_SCOPE)
+    assert [f.code for f in findings] == ["DET001"]
+
+
+# -------------------------------------------------------------------- baseline
+
+
+def _finding(code="DET001", path="src/a.py", message="call to time.time()"):
+    return Finding(path=path, line=10, col=3, code=code, message=message)
+
+
+def test_baseline_split_partitions_new_old_and_stale():
+    baseline = Baseline(
+        [
+            BaselineEntry("DET001", "src/a.py", "call to time.time()", "known"),
+            BaselineEntry("FLT001", "src/gone.py", "old message", "fixed long ago"),
+        ]
+    )
+    known = _finding()
+    fresh = _finding(code="DET002", message="set iteration")
+    new, old, stale = baseline.split([known, fresh])
+    assert new == [fresh]
+    assert old == [known]
+    assert [e.path for e in stale] == ["src/gone.py"]
+
+
+def test_baseline_matches_on_identity_not_line_numbers():
+    baseline = Baseline(
+        [BaselineEntry("DET001", "src/a.py", "call to time.time()", "known")]
+    )
+    moved = Finding(path="src/a.py", line=999, col=1, code="DET001", message="call to time.time()")
+    new, old, stale = baseline.split([moved])
+    assert new == [] and old == [moved] and stale == []
+
+
+def test_baseline_round_trips_through_disk(tmp_path):
+    baseline = Baseline.from_findings([_finding()], justification="because")
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+
+
+def test_baseline_rejects_missing_justification(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"code": "DET001", "path": "a.py", "message": "m", "justification": "  "}
+                ],
+            }
+        )
+    )
+    with pytest.raises(BaselineError, match="justification"):
+        Baseline.load(path)
+
+
+def test_baseline_rejects_unknown_version_and_bad_shape(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError, match="version"):
+        Baseline.load(path)
+    path.write_text(json.dumps(["not", "a", "mapping"]))
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_lint_paths_applies_baseline(tmp_path, monkeypatch):
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    unbaselined = lint_paths(["sim"])
+    assert [f.code for f in unbaselined.findings] == ["DET001"]
+    baseline = Baseline.from_findings(unbaselined.findings, justification="grandfathered")
+    report = lint_paths(["sim"], baseline=baseline)
+    assert report.ok
+    assert [f.code for f in report.baselined] == ["DET001"]
+    assert report.stale_baseline == []

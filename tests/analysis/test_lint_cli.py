@@ -1,0 +1,148 @@
+"""`repro lint` end-to-end: the CLI surface and the repo-wide gate.
+
+Includes the acceptance check the CI lint job relies on: a newly introduced
+DET001 violation (written to a temp file) makes `repro lint` exit non-zero,
+while `repro lint src/` stays clean modulo the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(args):
+    out = io.StringIO()
+    code = main(args, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def repo_cwd(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+
+
+BAD_SIM_MODULE = "import time\n\n\ndef now():\n    return time.time()\n"
+
+
+def test_lint_src_is_clean_modulo_checked_in_baseline(repo_cwd):
+    code, text = run_cli(["lint", "src"])
+    assert code == 0, text
+    assert "0 new finding(s)" in text
+    assert "stale" not in text
+
+
+def test_checked_in_baseline_entries_all_match_and_are_justified(repo_cwd):
+    data = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert data["version"] == 1
+    for entry in data["entries"]:
+        assert entry["justification"].strip(), entry
+    code, text = run_cli(["lint", "src", "--format", "json"])
+    assert code == 0
+    report = json.loads(text)
+    assert report["ok"] is True
+    assert report["stale_baseline"] == []
+    # Every baseline entry is still live (matched by a real finding).
+    assert len(report["baselined"]) >= len(data["entries"])
+
+
+def test_new_det001_violation_fails_the_gate(tmp_path, monkeypatch):
+    """The blocking-step demonstration: a fresh wall-clock call exits 1."""
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(BAD_SIM_MODULE)
+    monkeypatch.chdir(tmp_path)  # no baseline file here
+    code, text = run_cli(["lint", str(bad)])
+    assert code == 1
+    assert "DET001" in text and "time.time" in text
+
+
+def test_baseline_does_not_excuse_new_findings_elsewhere(tmp_path, monkeypatch):
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(BAD_SIM_MODULE)
+    monkeypatch.chdir(REPO_ROOT)
+    # The checked-in baseline is loaded, but the temp file's finding is new.
+    code, text = run_cli(["lint", str(bad)])
+    assert code == 1
+    assert "DET001" in text
+
+
+def test_lint_json_format(tmp_path, monkeypatch):
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(BAD_SIM_MODULE)
+    monkeypatch.chdir(tmp_path)
+    code, text = run_cli(["lint", str(bad), "--format", "json"])
+    assert code == 1
+    report = json.loads(text)
+    assert report["ok"] is False
+    assert report["files_checked"] == 1
+    assert [f["code"] for f in report["findings"]] == ["DET001"]
+    assert report["findings"][0]["line"] == 5
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, monkeypatch):
+    good = tmp_path / "sim" / "good.py"
+    good.parent.mkdir()
+    good.write_text("def f(clock):\n    return clock.now\n")
+    monkeypatch.chdir(tmp_path)
+    code, text = run_cli(["lint", str(tmp_path)])
+    assert code == 0
+    assert "0 new finding(s)" in text
+
+
+def test_write_baseline_grandfathers_current_findings(tmp_path, monkeypatch):
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(BAD_SIM_MODULE)
+    monkeypatch.chdir(tmp_path)
+    code, text = run_cli(["lint", "sim", "--write-baseline"])
+    assert code == 0
+    baseline_path = tmp_path / "lint-baseline.json"
+    assert baseline_path.exists()
+    entries = json.loads(baseline_path.read_text())["entries"]
+    assert len(entries) == 1 and entries[0]["code"] == "DET001"
+    assert "TODO" in entries[0]["justification"]
+    # The grandfathered finding no longer fails the gate...
+    code, text = run_cli(["lint", "sim"])
+    assert code == 0
+    assert "1 baselined" in text
+    # ...but fixing it marks the entry stale (warned, not fatal).
+    bad.write_text("def now(clock):\n    return clock\n")
+    code, text = run_cli(["lint", "sim"])
+    assert code == 0
+    assert "stale baseline entry" in text
+
+
+def test_no_baseline_flag_reports_grandfathered_findings(tmp_path, monkeypatch):
+    bad = tmp_path / "sim" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(BAD_SIM_MODULE)
+    monkeypatch.chdir(tmp_path)
+    run_cli(["lint", "sim", "--write-baseline"])
+    code, _ = run_cli(["lint", "sim"])
+    assert code == 0
+    code, text = run_cli(["lint", "sim", "--no-baseline"])
+    assert code == 1
+    assert "DET001" in text
+
+
+def test_missing_explicit_baseline_is_an_error(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit, match="does not exist"):
+        run_cli(["lint", str(tmp_path), "--baseline", "nope.json"])
+
+
+def test_list_rules_names_every_code(repo_cwd):
+    code, text = run_cli(["lint", "--list-rules"])
+    assert code == 0
+    for rule_code in ("DET001", "DET002", "DET003", "SPEC001", "SPEC002", "FLT001"):
+        assert rule_code in text

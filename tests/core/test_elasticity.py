@@ -3,9 +3,7 @@
 import pytest
 
 from repro.api import build_replicated_system, quick_serve, run_system
-from repro.core.cluster_system import ClusterServingSystem
 from repro.core.elasticity import (
-    AdmissionController,
     KVThresholdAdmission,
     QueueDepthAutoscaler,
     QueueThresholdAdmission,

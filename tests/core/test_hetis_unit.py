@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.core.hetis_unit import PRIMARY_TARGET_ID, HetisInstanceUnit
+from repro.core.hetis_unit import HetisInstanceUnit
 from repro.hardware.cluster import ClusterBuilder, simple_cluster
 from repro.models.spec import get_model_spec
 from repro.parallel.config import InstanceParallelConfig, StageConfig
-from repro.sim.request import Request, RequestStatus
+from repro.sim.request import Request
 from repro.sim.scheduler import SchedulerLimits
 
 

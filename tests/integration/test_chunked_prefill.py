@@ -6,8 +6,6 @@ decode request for the whole prefill.  With chunking on, no iteration carries
 more prefill tokens than the budget, so decode waits at most one chunk.
 """
 
-import pytest
-
 from repro.api import build_cluster, build_system, quick_serve, run_system
 from repro.sim.scheduler import SchedulerLimits
 from repro.workloads.trace import generate_trace
@@ -51,7 +49,7 @@ class TestLongBenchChunking:
     def test_budget_hard_enforced_with_chunking(self):
         result, loads = self.run_longbench(LIMITS)
         assert result.summary.num_finished == 12
-        prefill_loads = [l for _, l in loads if l]
+        prefill_loads = [load for _, load in loads if load]
         assert prefill_loads, "no prefill iterations observed"
         assert max(prefill_loads) <= LIMITS.max_prefill_tokens_per_iteration
 
@@ -61,7 +59,7 @@ class TestLongBenchChunking:
         monolithic = SchedulerLimits(max_prefill_tokens_per_iteration=2048)
         result, loads = self.run_longbench(monolithic)
         assert result.summary.num_finished == 12
-        assert max(l for _, l in loads) > monolithic.max_prefill_tokens_per_iteration
+        assert max(load for _, load in loads) > monolithic.max_prefill_tokens_per_iteration
 
     def test_decode_not_starved_behind_long_prefill(self):
         # With chunking on, decode requests ride along with prefill chunks

@@ -84,3 +84,23 @@ def test_deterministic_pairing(llama13b):
     assert [(s.src_device, s.dst_device, s.num_query_heads) for s in plan_a.steps] == [
         (s.src_device, s.dst_device, s.num_query_heads) for s in plan_b.steps
     ]
+
+
+def test_plan_is_identical_regardless_of_allocation_dict_order(llama13b):
+    """Regression: device enumeration is sorted, not set-ordered.
+
+    plan_head_migration used to walk ``set(old) | set(new)``, so the surplus/
+    deficit bookkeeping dicts were populated in hash-seed-dependent order.
+    The emitted plan must be byte-identical however the input mappings are
+    ordered (DET002).
+    """
+    old = {3: 10, 0: 30, 7: 0}
+    new = {7: 20, 3: 0, 0: 20}
+    reference = plan_head_migration(llama13b, 1, 1000, old, new)
+    for old_items, new_items in [
+        (sorted(old.items()), sorted(new.items())),
+        (sorted(old.items(), reverse=True), sorted(new.items(), reverse=True)),
+    ]:
+        plan = plan_head_migration(llama13b, 1, 1000, dict(old_items), dict(new_items))
+        assert plan.steps == reference.steps
+        assert plan.total_bytes == reference.total_bytes

@@ -10,8 +10,8 @@ from repro.sim.scheduler import ContinuousBatchingPolicy, SchedulerLimits
 
 def make_queue(lengths):
     return deque(
-        Request(request_id=i, arrival_time=0.0, prompt_tokens=l, output_tokens=10)
-        for i, l in enumerate(lengths)
+        Request(request_id=i, arrival_time=0.0, prompt_tokens=length, output_tokens=10)
+        for i, length in enumerate(lengths)
     )
 
 

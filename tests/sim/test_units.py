@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.cluster import paper_cluster, simple_cluster
+from repro.hardware.cluster import simple_cluster
 from repro.models.spec import get_model_spec
 from repro.parallel.config import InstanceParallelConfig, StageConfig
 from repro.sim.request import Request, RequestStatus
