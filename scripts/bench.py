@@ -39,8 +39,11 @@ except ImportError:  # pragma: no cover - direct invocation convenience
 from repro.api import build_cluster, build_system, quick_serve, run_system
 from repro.config import DeploymentSpec, MetricsSpec, expand_grid
 from repro.experiments.runner import SweepRunner, summary_row
+from repro.kvcache.migration import ReplicaMigrationPlanner, plan_head_migration
+from repro.models.spec import get_model_spec
 from repro.perf.attention_model import DeviceAttentionModel
 from repro.perf.commcost import attention_transfer_bytes
+from repro.utils.rng import make_rng
 from repro.workloads import (
     StreamingTrace,
     diurnal_phases,
@@ -164,6 +167,72 @@ def bench_large_trace(quick: bool) -> dict:
     }
 
 
+def _migration_workload(model, num_plans: int, seed: int):
+    """Deterministic synthetic allocations + replica moves for the planner legs."""
+    rng = make_rng(seed)
+    r = model.gqa_ratio
+    groups = model.num_heads // r
+    head_cases = []
+    for _ in range(num_plans):
+        num_devices = int(rng.integers(2, 7))
+        context = int(rng.integers(64, 4096))
+        old = {dev: 0 for dev in range(num_devices)}
+        new = {dev: 0 for dev in range(num_devices)}
+        for _ in range(groups):
+            old[int(rng.integers(0, num_devices))] += r
+            new[int(rng.integers(0, num_devices))] += r
+        head_cases.append((context, old, new))
+    replica_moves = [
+        (
+            i,
+            int(rng.integers(64, 4096)),
+            int(rng.integers(0, 4)),
+            int(rng.integers(4, 8)),
+        )
+        for i in range(num_plans)
+    ]
+    return head_cases, replica_moves
+
+
+def bench_migration(quick: bool) -> dict:
+    """Head-wise and replica-level migration planning over synthetic allocations.
+
+    Times ``plan_head_migration`` across seeded random GQA placements and
+    ``ReplicaMigrationPlanner.plan`` over a batch of whole-request moves.
+    The gate is determinism: two passes over the same seed must price the
+    same total byte volume or the script exits non-zero.
+    """
+    model = get_model_spec("llama-13b")
+    num_plans = 500 if quick else 5_000
+    planner = ReplicaMigrationPlanner(model, bandwidth_gbps=100.0)
+
+    def one_pass():
+        head_cases, replica_moves = _migration_workload(model, num_plans, seed=7)
+        t0 = time.perf_counter()
+        head_bytes = 0.0
+        for seq_id, (context, old, new) in enumerate(head_cases):
+            head_bytes += plan_head_migration(model, seq_id, context, old, new).total_bytes
+        head_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        replica_plan = planner.plan(replica_moves)
+        replica_s = time.perf_counter() - t0
+        return head_bytes, head_s, replica_plan.total_bytes, replica_s
+
+    head_bytes_a, head_s, replica_bytes_a, replica_s = one_pass()
+    head_bytes_b, _, replica_bytes_b, _ = one_pass()
+    return {
+        "workload": f"llama-13b, {num_plans} head-wise plans + {num_plans}-request replica batch",
+        "num_plans": num_plans,
+        "head_plan_seconds": round(head_s, 4),
+        "head_plans_per_second": round(num_plans / head_s, 1) if head_s > 0 else None,
+        "head_plan_total_gb": round(head_bytes_a / 1e9, 4),
+        "replica_plan_seconds": round(replica_s, 4),
+        "replica_plan_total_gb": round(replica_bytes_a / 1e9, 4),
+        "bytes_bit_identical": head_bytes_a == head_bytes_b
+        and replica_bytes_a == replica_bytes_b,
+    }
+
+
 def _sweep_combos(quick: bool):
     num_requests = 16 if quick else 64
     spec = DeploymentSpec.from_dict(
@@ -261,6 +330,15 @@ def main(argv=None) -> int:
         f"({sweep['cache_warm_fraction_of_cold']} of cold)"
     )
 
+    print("== migration planning (head-wise + replica-level) ==")
+    migration = bench_migration(args.quick)
+    print(
+        f"  {migration['workload']}: head-wise {migration['head_plan_seconds']}s "
+        f"({migration['head_plans_per_second']}/s, {migration['head_plan_total_gb']} GB priced), "
+        f"replica batch {migration['replica_plan_seconds']}s "
+        f"({migration['replica_plan_total_gb']} GB priced)"
+    )
+
     print("== large-trace streaming replay (diurnal, bounded metrics) ==")
     large = bench_large_trace(args.quick)
     print(f"  parity @ n={large['parity_requests']}: "
@@ -288,6 +366,7 @@ def main(argv=None) -> int:
         "engine": engine,
         "lru_caches": caches,
         "sweep": sweep,
+        "migration": migration,
         "engine_large_trace": large,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -300,6 +379,12 @@ def main(argv=None) -> int:
     if not large["streaming_rows_bit_identical"]:
         print(
             "bench FAILED: streaming-trace engine run diverges from the list-trace run",
+            file=sys.stderr,
+        )
+        return 1
+    if not migration["bytes_bit_identical"]:
+        print(
+            "bench FAILED: migration planning priced different byte volumes across passes",
             file=sys.stderr,
         )
         return 1

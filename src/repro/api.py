@@ -33,6 +33,7 @@ from repro.config import (
     ClusterSpec,
     DeploymentSpec,
     ElasticitySpec,
+    FailureSpec,
     MetricsSpec,
     RouterSpec,
     SystemSpec,
@@ -243,6 +244,8 @@ def build(
         or clusters is not None
         or autoscaler is not None
         or admission is not None
+        or (spec.elasticity is not None and spec.elasticity.migration)
+        or (spec.failures is not None and spec.failures.enabled)
     )
 
     dataset = spec.workload.dataset
@@ -273,12 +276,27 @@ def build(
                     spec.system, pool, spec.model, dataset, limits=limits, extra=system_kwargs
                 )
             )
+        failure_schedule = None
+        recovery_time, check_interval = 30.0, 1.0
+        if spec.failures is not None and spec.failures.enabled:
+            failure_schedule = spec.failures.build_schedule(num_replicas)
+            recovery_time = spec.failures.recovery_time
+            check_interval = spec.failures.check_interval
         serving = ClusterServingSystem(
             replicas,
             router=router if router is not None else spec.router.build(spec.workload.seed),
             seed=spec.workload.seed,
             autoscaler=autoscaler,
             admission=admission,
+            migration=spec.elasticity.migration if spec.elasticity is not None else False,
+            migration_bandwidth_gbps=(
+                spec.elasticity.migration_bandwidth_gbps
+                if spec.elasticity is not None
+                else 100.0
+            ),
+            failure_schedule=failure_schedule,
+            failure_recovery_time=recovery_time,
+            failure_check_interval=check_interval,
         )
 
     return PreparedRun(
@@ -357,6 +375,9 @@ def build_replicated_system(
     autoscaler: "str | AutoscalerPolicy | None" = None,
     admission: "str | AdmissionController | None" = None,
     prefill_chunk_tokens: Optional[int] = None,
+    migration: bool = False,
+    migration_bandwidth_gbps: float = 100.0,
+    failures: Optional[FailureSpec] = None,
     **kwargs: Any,
 ) -> ClusterServingSystem:
     """Build ``num_replicas`` copies of a serving system behind a router.
@@ -370,7 +391,10 @@ def build_replicated_system(
     ``autoscaler`` / ``admission`` enable elasticity (see
     :class:`~repro.core.cluster_system.ClusterServingSystem`); both default to
     off, which preserves the fixed-capacity, admit-everything behaviour
-    bit-for-bit.
+    bit-for-bit.  ``migration`` opts drained/failed replicas into KV-aware
+    live migration of queued work (priced at ``migration_bandwidth_gbps``);
+    ``failures`` injects a deterministic spot-churn schedule (a
+    :class:`~repro.config.FailureSpec`).
     """
     if num_replicas <= 0:
         raise ValueError("num_replicas must be > 0")
@@ -391,7 +415,15 @@ def build_replicated_system(
             replica_kinds=tuple(cluster_kinds) if cluster_kinds is not None else None,
         ),
         router=RouterSpec() if isinstance(router, ReplicaRouter) else RouterSpec(name=router),
+        elasticity=(
+            ElasticitySpec(
+                migration=migration, migration_bandwidth_gbps=migration_bandwidth_gbps
+            )
+            if migration
+            else None
+        ),
         workload=WorkloadSpec(dataset=dataset, seed=seed),
+        failures=failures,
     )
     # Instances (router/policies) and prebuilt clusters are live objects: they
     # bypass the spec and go through build()'s override channel; string policy
@@ -431,6 +463,9 @@ def quick_serve(
     slo: Optional[SLOSpec] = None,
     prefill_chunk_tokens: Optional[int] = None,
     limits: Optional[SchedulerLimits] = None,
+    migration: bool = False,
+    migration_bandwidth_gbps: float = 100.0,
+    failures: Optional[FailureSpec] = None,
     **system_kwargs: Any,
 ) -> SimulationResult:
     """One-call end-to-end simulation: build cluster + system + trace, then run.
@@ -456,10 +491,12 @@ def quick_serve(
     if cluster_kinds is not None and len(cluster_kinds) != num_replicas:
         raise ValueError(f"expected {num_replicas} cluster kinds, got {len(cluster_kinds)}")
     elasticity = None
-    if isinstance(autoscaler, str) or isinstance(admission, str):
+    if isinstance(autoscaler, str) or isinstance(admission, str) or migration:
         elasticity = ElasticitySpec(
             autoscaler=autoscaler if isinstance(autoscaler, str) else None,
             admission=admission if isinstance(admission, str) else None,
+            migration=migration,
+            migration_bandwidth_gbps=migration_bandwidth_gbps,
         )
     spec = DeploymentSpec(
         model=model,
@@ -479,6 +516,7 @@ def quick_serve(
             seed=seed,
             phases=tuple(phases) if phases is not None else None,
         ),
+        failures=failures,
     )
     # Policy instances stay live objects; an elasticity *instance* forces the
     # replicated path even though the spec alone would not (matching the

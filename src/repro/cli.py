@@ -76,6 +76,7 @@ from repro.api import (
 from repro.config import (
     ConfigError,
     DeploymentSpec,
+    FailureSpec,
     MetricsSpec,
     expand_grid,
     parse_grid_axis,
@@ -172,6 +173,35 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
     scaling.add_argument(
         "--admission-mode", default="reject", choices=["reject", "defer"],
         help="what to do with arrivals while every active replica is overloaded",
+    )
+    scaling.add_argument(
+        "--migration", action="store_true",
+        help="KV-aware live migration: queued/preempted work moves off "
+             "draining or failed replicas (default: off, work rides in place)",
+    )
+    scaling.add_argument(
+        "--migration-gbps", type=float, default=100.0, metavar="GBPS",
+        help="inter-replica link bandwidth used to price KV transfers",
+    )
+    scaling.add_argument(
+        "--fail-at", action="append", default=None, metavar="TIME:REPLICA",
+        help="inject a replica failure at TIME seconds (repeatable)",
+    )
+    scaling.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="PER_SEC",
+        help="Poisson spot-churn failure rate across the fleet",
+    )
+    scaling.add_argument(
+        "--failures", type=int, default=0, metavar="N",
+        help="number of generated failures when --failure-rate is set",
+    )
+    scaling.add_argument(
+        "--failure-seed", type=int, default=0,
+        help="seed for the generated failure schedule",
+    )
+    scaling.add_argument(
+        "--failure-recovery", type=float, default=30.0, metavar="SECONDS",
+        help="outage length before a failed replica rejoins",
     )
     slo = parser.add_argument_group("latency SLOs (attainment / goodput scoring)")
     slo.add_argument(
@@ -396,6 +426,39 @@ def _elasticity_from_args(args: argparse.Namespace):
     return autoscaler, admission
 
 
+def _failures_from_args(args: argparse.Namespace) -> Optional[FailureSpec]:
+    """Build the FailureSpec a workload subcommand asked for (``None`` = off)."""
+    events = []
+    for entry in getattr(args, "fail_at", None) or []:
+        time_s, sep, replica_s = str(entry).partition(":")
+        try:
+            if not sep:
+                raise ValueError("missing ':'")
+            events.append([float(time_s), int(replica_s)])
+        except ValueError:
+            raise SystemExit(
+                f"error: --fail-at takes TIME:REPLICA (e.g. 30:0), got {entry!r}"
+            ) from None
+    rate = getattr(args, "failure_rate", 0.0)
+    count = getattr(args, "failures", 0)
+    if not events and not (rate > 0 and count > 0):
+        if rate > 0 or count > 0:
+            raise SystemExit(
+                "error: --failure-rate and --failures must be set together"
+            )
+        return None
+    try:
+        return FailureSpec(
+            events=events,
+            rate=rate,
+            num_failures=count,
+            seed=getattr(args, "failure_seed", 0),
+            recovery_time=getattr(args, "failure_recovery", 30.0),
+        )
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
 def _slo_from_args(args: argparse.Namespace) -> Optional[SLOSpec]:
     """Build the SLOSpec a subcommand asked for (``None`` = loose defaults)."""
     ttft = getattr(args, "slo_ttft", None)
@@ -420,13 +483,21 @@ def _build_serving(name: str, args: argparse.Namespace):
     chunk_tokens = getattr(args, "prefill_chunk_tokens", None)
     replica_specs = getattr(args, "replica_gpus", None)
     autoscaler, admission = _elasticity_from_args(args)
+    failures = _failures_from_args(args)
+    migration = bool(getattr(args, "migration", False))
     if replica_specs:
         # Heterogeneous mix: one blueprint spec per replica.
         try:
             clusters = [build_cluster(spec) for spec in replica_specs]
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from None
-    elif replicas > 1 or autoscaler is not None or admission is not None:
+    elif (
+        replicas > 1
+        or autoscaler is not None
+        or admission is not None
+        or migration
+        or failures is not None
+    ):
         clusters = [_cluster_from_args(args.gpus) for _ in range(replicas)]
     else:
         return build_system(
@@ -436,18 +507,24 @@ def _build_serving(name: str, args: argparse.Namespace):
             dataset=args.dataset,
             prefill_chunk_tokens=chunk_tokens,
         )
-    return build_replicated_system(
-        name,
-        args.model,
-        len(clusters),
-        router=args.router,
-        clusters=clusters,
-        dataset=args.dataset,
-        seed=args.seed,
-        prefill_chunk_tokens=chunk_tokens,
-        autoscaler=autoscaler,
-        admission=admission,
-    )
+    try:
+        return build_replicated_system(
+            name,
+            args.model,
+            len(clusters),
+            router=args.router,
+            clusters=clusters,
+            dataset=args.dataset,
+            seed=args.seed,
+            prefill_chunk_tokens=chunk_tokens,
+            autoscaler=autoscaler,
+            admission=admission,
+            migration=migration,
+            migration_bandwidth_gbps=getattr(args, "migration_gbps", 100.0),
+            failures=failures,
+        )
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -484,6 +561,17 @@ def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
         print(
             f"autoscaler [{args.autoscaler}]: active replicas {system.num_active}/"
             f"{num_replicas} at end; timeline: {timeline}",
+            file=out,
+        )
+    failure_events = getattr(system, "failure_events", None)
+    if failure_events:
+        fired = ", ".join(f"t={t:.0f}s replica {i}" for t, i in failure_events)
+        print(f"failures: {len(failure_events)} injected ({fired})", file=out)
+    if getattr(args, "migration", False) and getattr(system, "migration_enabled", False):
+        print(
+            f"migration [{args.migration_gbps:g} Gbps]: "
+            f"{system.num_migrated_requests} request(s) moved, "
+            f"{system.migrated_bytes / 1e9:.3f} GB of KV transferred",
             file=out,
         )
     if result.num_dropped:

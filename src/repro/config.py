@@ -51,6 +51,7 @@ from repro.sim.metrics import MetricsCollector, SLOSpec
 from repro.sim.recorder import TimeSeriesRecorder
 from repro.sim.scheduler import SchedulerLimits
 from repro.systems import SYSTEMS
+from repro.utils.rng import make_rng
 from repro.workloads.arrivals import RatePhase
 from repro.workloads.datasets import DATASETS
 
@@ -325,12 +326,20 @@ class ElasticitySpec:
     ``{"interval": 2.0, "target_utilization": 0.5}`` for ``target-kv``);
     they are validated eagerly by constructing a throwaway policy, so a typo
     fails at parse time with the policy's own error message.
+
+    ``migration=True`` turns on KV-aware live migration: a draining or failed
+    replica's queued/preempted requests move to surviving replicas, each move
+    priced at ``kv_bytes_per_token x context`` over a
+    ``migration_bandwidth_gbps`` link (see
+    :class:`repro.kvcache.migration.ReplicaMigrationPlanner`).
     """
 
     autoscaler: Optional[str] = None
     autoscaler_options: Mapping[str, Any] = field(default_factory=dict)
     admission: Optional[str] = None
     admission_options: Mapping[str, Any] = field(default_factory=dict)
+    migration: bool = False
+    migration_bandwidth_gbps: float = 100.0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -371,10 +380,24 @@ class ElasticitySpec:
             self.build_admission()
         except (TypeError, ValueError) as exc:
             raise ConfigError(f"elasticity.admission_options: {exc}") from None
+        _check(
+            isinstance(self.migration, bool),
+            f"elasticity.migration must be a boolean, got {self.migration!r}",
+        )
+        _check(
+            isinstance(self.migration_bandwidth_gbps, (int, float))
+            and not isinstance(self.migration_bandwidth_gbps, bool)
+            and self.migration_bandwidth_gbps > 0,
+            "elasticity.migration_bandwidth_gbps must be > 0, "
+            f"got {self.migration_bandwidth_gbps!r}",
+        )
+        object.__setattr__(
+            self, "migration_bandwidth_gbps", float(self.migration_bandwidth_gbps)
+        )
 
     @property
     def enabled(self) -> bool:
-        return self.autoscaler is not None or self.admission is not None
+        return self.autoscaler is not None or self.admission is not None or self.migration
 
     def build_autoscaler(self) -> Optional[AutoscalerPolicy]:
         if self.autoscaler is None:
@@ -392,6 +415,8 @@ class ElasticitySpec:
             "autoscaler_options": dict(self.autoscaler_options),
             "admission": self.admission,
             "admission_options": dict(self.admission_options),
+            "migration": self.migration,
+            "migration_bandwidth_gbps": self.migration_bandwidth_gbps,
         }
 
     @classmethod
@@ -402,6 +427,159 @@ class ElasticitySpec:
             autoscaler_options=data.get("autoscaler_options") or {},
             admission=data.get("admission"),
             admission_options=data.get("admission_options") or {},
+            migration=data.get("migration", False),
+            migration_bandwidth_gbps=data.get("migration_bandwidth_gbps", 100.0),
+        )
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Deterministic spot-churn schedule for replicated deployments.
+
+    Two (combinable) sources of failures, both deterministic:
+
+    * ``events``: explicit ``(time, replica_index)`` pairs, e.g.
+      ``events = [[20.0, 0], [45.0, 2]]`` in TOML/JSON;
+    * ``rate`` + ``num_failures``: ``num_failures`` Poisson-spaced failures at
+      ``rate`` failures/second across the fleet, with uniformly chosen victim
+      replicas -- generated once at build time from ``seed``, so the same
+      seed always yields the same churn.
+
+    A failed replica's running work is preempted (KV dropped,
+    recompute-on-restart) and the replica leaves the routable set for
+    ``recovery_time`` seconds.  Whether its queued work migrates to surviving
+    replicas or rides out the outage in place is the deployment's
+    ``elasticity.migration`` toggle.  ``check_interval`` is the control-tick
+    period used when no autoscaler is configured (failures fire on control
+    ticks).
+    """
+
+    events: Tuple[Tuple[float, int], ...] = ()
+    rate: float = 0.0
+    num_failures: int = 0
+    seed: int = 0
+    recovery_time: float = 30.0
+    check_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        normalized: List[Tuple[float, int]] = []
+        _check(
+            isinstance(self.events, (list, tuple)),
+            f"failures.events must be a list of [time, replica] pairs, got {self.events!r}",
+        )
+        for entry in self.events:
+            if isinstance(entry, Mapping):
+                _check(
+                    set(entry) <= {"time", "replica"},
+                    f"failures.events entries take 'time' and 'replica', got {sorted(entry)}",
+                )
+                time, replica = entry.get("time"), entry.get("replica")
+            else:
+                _check(
+                    isinstance(entry, (list, tuple)) and len(entry) == 2,
+                    f"failures.events entries must be [time, replica] pairs, got {entry!r}",
+                )
+                time, replica = entry
+            _check(
+                isinstance(time, (int, float))
+                and not isinstance(time, bool)
+                and time >= 0,
+                f"failures.events: time must be >= 0, got {time!r}",
+            )
+            _check(
+                isinstance(replica, int)
+                and not isinstance(replica, bool)
+                and replica >= 0,
+                f"failures.events: replica must be an integer >= 0, got {replica!r}",
+            )
+            normalized.append((float(time), replica))
+        object.__setattr__(self, "events", tuple(normalized))
+        _check(
+            isinstance(self.rate, (int, float))
+            and not isinstance(self.rate, bool)
+            and self.rate >= 0,
+            f"failures.rate must be >= 0, got {self.rate!r}",
+        )
+        object.__setattr__(self, "rate", float(self.rate))
+        _check(
+            isinstance(self.num_failures, int)
+            and not isinstance(self.num_failures, bool)
+            and self.num_failures >= 0,
+            f"failures.num_failures must be an integer >= 0, got {self.num_failures!r}",
+        )
+        _check(
+            not (self.rate > 0) or self.num_failures > 0,
+            "failures.rate > 0 requires failures.num_failures > 0 "
+            "(the generated schedule must be finite)",
+        )
+        _check(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"failures.seed must be an integer, got {self.seed!r}",
+        )
+        _check(
+            isinstance(self.recovery_time, (int, float))
+            and not isinstance(self.recovery_time, bool)
+            and self.recovery_time >= 0,
+            f"failures.recovery_time must be >= 0, got {self.recovery_time!r}",
+        )
+        object.__setattr__(self, "recovery_time", float(self.recovery_time))
+        _check(
+            isinstance(self.check_interval, (int, float))
+            and not isinstance(self.check_interval, bool)
+            and self.check_interval > 0,
+            f"failures.check_interval must be > 0, got {self.check_interval!r}",
+        )
+        object.__setattr__(self, "check_interval", float(self.check_interval))
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.events) or (self.rate > 0 and self.num_failures > 0)
+
+    def build_schedule(self, num_replicas: int) -> List[Tuple[float, int]]:
+        """Materialize the failure schedule against a concrete fleet size.
+
+        Explicit events are validated against ``num_replicas``; generated
+        events draw Poisson inter-arrival gaps and uniform victim replicas
+        from a generator seeded with ``seed`` (bit-reproducible).  The merged
+        schedule is sorted by time, ties by replica index.
+        """
+        _check(num_replicas >= 1, "failure schedule needs at least one replica")
+        for time, replica in self.events:
+            _check(
+                replica < num_replicas,
+                f"failures.events targets replica {replica}, but the cluster "
+                f"has only {num_replicas} replicas",
+            )
+        schedule: List[Tuple[float, int]] = list(self.events)
+        if self.rate > 0 and self.num_failures > 0:
+            rng = make_rng(self.seed)
+            t = 0.0
+            for _ in range(self.num_failures):
+                t += float(rng.exponential(1.0 / self.rate))
+                schedule.append((t, int(rng.integers(0, num_replicas))))
+        schedule.sort()
+        return schedule
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [[t, r] for t, r in self.events],
+            "rate": self.rate,
+            "num_failures": self.num_failures,
+            "seed": self.seed,
+            "recovery_time": self.recovery_time,
+            "check_interval": self.check_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FailureSpec":
+        _reject_unknown_keys(cls, data, "failures spec")
+        return cls(
+            events=data.get("events") or (),
+            rate=data.get("rate", 0.0),
+            num_failures=data.get("num_failures", 0),
+            seed=data.get("seed", 0),
+            recovery_time=data.get("recovery_time", 30.0),
+            check_interval=data.get("check_interval", 1.0),
         )
 
 
@@ -622,6 +800,7 @@ class DeploymentSpec:
     slo: Optional[SLOSpec] = None
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     metrics: Optional[MetricsSpec] = None
+    failures: Optional[FailureSpec] = None
     max_simulated_time: float = 24 * 3600.0
 
     def __post_init__(self) -> None:
@@ -647,6 +826,10 @@ class DeploymentSpec:
             "metrics must be a MetricsSpec or null",
         )
         _check(
+            self.failures is None or isinstance(self.failures, FailureSpec),
+            "failures must be a FailureSpec or null",
+        )
+        _check(
             isinstance(self.max_simulated_time, (int, float)) and self.max_simulated_time > 0,
             f"max_simulated_time must be > 0, got {self.max_simulated_time!r}",
         )
@@ -661,6 +844,7 @@ class DeploymentSpec:
             self.cluster.replicas > 1
             or self.cluster.replica_kinds is not None
             or (self.elasticity is not None and self.elasticity.enabled)
+            or (self.failures is not None and self.failures.enabled)
         )
 
     def describe(self) -> str:
@@ -677,6 +861,11 @@ class DeploymentSpec:
             parts.append(f"autoscaler={self.elasticity.autoscaler}")
         if self.elasticity is not None and self.elasticity.admission:
             parts.append(f"admission={self.elasticity.admission}")
+        if self.elasticity is not None and self.elasticity.migration:
+            parts.append(f"migration@{self.elasticity.migration_bandwidth_gbps:g}Gbps")
+        if self.failures is not None and self.failures.enabled:
+            churn = len(self.failures.events) + self.failures.num_failures
+            parts.append(f"failures={churn}(recovery {self.failures.recovery_time:g}s)")
         if self.slo is not None:
             parts.append(f"slo=({self.slo.ttft_s:g}s TTFT, {self.slo.tpot_s:g}s TPOT)")
         wl = self.workload
@@ -701,6 +890,7 @@ class DeploymentSpec:
             "slo": _slo_to_dict(self.slo) if self.slo is not None else None,
             "workload": self.workload.to_dict(),
             "metrics": self.metrics.to_dict() if self.metrics is not None else None,
+            "failures": self.failures.to_dict() if self.failures is not None else None,
             "max_simulated_time": self.max_simulated_time,
         }
 
@@ -726,6 +916,7 @@ class DeploymentSpec:
             slo=sub("slo", _slo_from_dict, None),
             workload=sub("workload", WorkloadSpec.from_dict, WorkloadSpec),
             metrics=sub("metrics", MetricsSpec.from_dict, None),
+            failures=sub("failures", FailureSpec.from_dict, None),
             max_simulated_time=data.get("max_simulated_time", 24 * 3600.0),
         )
 
@@ -795,6 +986,7 @@ _SECTION_CLASSES: Dict[Tuple[str, ...], Any] = {
     ("elasticity",): ElasticitySpec,
     ("workload",): WorkloadSpec,
     ("metrics",): MetricsSpec,
+    ("failures",): FailureSpec,
 }
 
 

@@ -28,7 +28,7 @@ Routers implemented:
     breaks utilisation ties toward the larger replica, and the power-of-two
     variant samples its two candidates with capacity-proportional probability.
 
-Elasticity (optional, both off by default):
+Elasticity (optional, all off by default):
 
 * an :class:`~repro.core.elasticity.AutoscalerPolicy` activates/drains
   replicas on a decision interval -- drained replicas finish in-flight work
@@ -36,13 +36,23 @@ Elasticity (optional, both off by default):
   determinism is preserved;
 * an :class:`~repro.core.elasticity.AdmissionController` rejects or defers
   arrivals while every *active* replica is over a KV/queue threshold, feeding
-  the SLO-attainment/goodput metrics block.
+  the SLO-attainment/goodput metrics block;
+* KV-aware live migration (``migration=True``): a draining or failed
+  replica's queued and preempted requests move to surviving replicas as
+  priced, low-priority transfer events
+  (:class:`~repro.kvcache.migration.ReplicaMigrationPlanner`) instead of
+  finishing in place;
+* failure injection (``failure_schedule``): a deterministic spot-churn
+  schedule preempts replicas at given times -- in-flight work loses its KV
+  (recompute-on-restart), the replica leaves the routable set until its
+  recovery window elapses, and queued work either migrates (migration on) or
+  rides out the outage in place (migration off).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.elasticity import (
     AdmissionController,
@@ -51,6 +61,7 @@ from repro.core.elasticity import (
     make_admission,
     make_autoscaler,
 )
+from repro.kvcache.migration import ReplicaMigrationPlanner
 from repro.registry import Registry
 from repro.sim.engine import ADMIT, AdmissionDecision, ServingSystem
 from repro.sim.iteration import Iteration, IterationOutcome
@@ -73,6 +84,32 @@ def replica_kv_utilization(replica: ServingSystem) -> float:
 def replica_queue_depth(replica: ServingSystem) -> int:
     """Requests waiting (including pending hand-offs) across a replica's units."""
     return sum(unit.num_waiting for unit in replica.units)
+
+
+def replica_cost_per_hour(replica: ServingSystem) -> float:
+    """Aggregate $/hr of the hardware behind one replica.
+
+    Walks the distinct cluster objects reachable from the replica (its own
+    ``cluster`` attribute plus each unit's), de-duplicated by identity:
+    several units of one replica normally share a cluster, which must be
+    priced once.  Systems without cluster handles price as 0 (cost-unaware).
+    """
+    clusters = []
+    root = getattr(replica, "cluster", None)
+    if root is not None:
+        clusters.append(root)
+    for unit in replica.units:
+        c = getattr(unit, "cluster", None)
+        if c is not None:
+            clusters.append(c)
+    seen: Set[int] = set()
+    total = 0.0
+    for c in clusters:
+        if id(c) in seen:
+            continue
+        seen.add(id(c))
+        total += float(getattr(c, "cost_per_hour", 0.0))
+    return total
 
 
 class ReplicaRouter(abc.ABC):
@@ -351,6 +388,27 @@ class ClusterServingSystem(ServingSystem):
     admission:
         Optional :class:`~repro.core.elasticity.AdmissionController` (or
         factory name) consulted before each arrival is routed.
+    migration:
+        When true, a draining or failed replica's queued/preempted requests
+        are evicted and re-routed to surviving replicas; each move is priced
+        by the :class:`~repro.kvcache.migration.ReplicaMigrationPlanner` and
+        arrives at its target after the transfer delay.  Off by default (the
+        historical finish-in-place behavior, bit-for-bit).
+    migration_bandwidth_gbps:
+        Effective inter-replica link bandwidth in gigabits/s for pricing
+        whole-request KV moves.
+    failure_schedule:
+        Deterministic spot-churn schedule: ``(time, replica_index)`` pairs,
+        each preempting that replica at the first control tick at or after
+        ``time``.  Usually produced by
+        :meth:`repro.config.FailureSpec.build_schedule`.
+    failure_recovery_time:
+        Seconds a failed replica stays out of the fleet before it may rejoin
+        (automatically without an autoscaler, as a scale-up candidate with
+        one).
+    failure_check_interval:
+        Control-tick period used when failures are injected without an
+        autoscaler (which would otherwise schedule no ticks at all).
     """
 
     def __init__(
@@ -361,6 +419,11 @@ class ClusterServingSystem(ServingSystem):
         name: Optional[str] = None,
         autoscaler: "str | AutoscalerPolicy | None" = None,
         admission: "str | AdmissionController | None" = None,
+        migration: bool = False,
+        migration_bandwidth_gbps: float = 100.0,
+        failure_schedule: Optional[Sequence[Tuple[float, int]]] = None,
+        failure_recovery_time: float = 30.0,
+        failure_check_interval: float = 1.0,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -400,6 +463,55 @@ class ClusterServingSystem(ServingSystem):
         # every arrival, which must not rescan every unit of every replica
         # within a same-timestamp burst.
         self._state_cache: Dict[int, Tuple[float, ReplicaState]] = {}
+        self._costs = [replica_cost_per_hour(r) for r in self.replicas]
+
+        # -- live migration (drains / failures) --------------------------------
+        self.migration_enabled = bool(migration)
+        self._migration: Optional[ReplicaMigrationPlanner] = None
+        if self.migration_enabled:
+            model = next(
+                (
+                    getattr(u, "model", None)
+                    for u in self._units
+                    if getattr(u, "model", None) is not None
+                ),
+                None,
+            )
+            self._migration = ReplicaMigrationPlanner(model, migration_bandwidth_gbps)
+        #: Executed migrations: ``(time, src_replica, num_requests, bytes)``.
+        self.migration_events: List[Tuple[float, int, int, float]] = []
+        self.num_migrated_requests = 0
+        self.migrated_bytes = 0.0
+
+        # -- failure injection -------------------------------------------------
+        if failure_recovery_time < 0:
+            raise ValueError("failure_recovery_time must be >= 0")
+        if failure_check_interval <= 0:
+            raise ValueError("failure_check_interval must be > 0")
+        schedule = sorted(failure_schedule or [])
+        for t, idx in schedule:
+            if t < 0:
+                raise ValueError(f"failure time must be >= 0, got {t!r}")
+            if not 0 <= idx < len(self.replicas):
+                raise ValueError(
+                    f"failure targets replica {idx}, but the cluster has "
+                    f"{len(self.replicas)} replicas"
+                )
+        self._failure_schedule: List[Tuple[float, int]] = schedule
+        self._failure_cursor = 0
+        self.failure_recovery_time = failure_recovery_time
+        self.failure_check_interval = failure_check_interval
+        # Wall-clock time until which each replica is down (0.0 = never failed
+        # or fully recovered); a down replica cannot be (re)activated.
+        self._down_until: List[float] = [0.0] * len(self.replicas)
+        #: Executed failures: ``(time, replica_index)``.
+        self.failure_events: List[Tuple[float, int]] = []
+
+        # -- degraded routing (satellite: empty active set) --------------------
+        self.num_drained_routes = 0
+        # route() has no recorder handle, so drained-route events buffer here
+        # and flush on the next control tick.
+        self._drained_route_buffer: List[Tuple[float, int]] = []
 
     @property
     def units(self) -> List[ExecutionUnit]:
@@ -437,6 +549,7 @@ class ClusterServingSystem(ServingSystem):
                 queue_depth=replica_queue_depth(replica),
                 num_running=sum(u.num_running for u in replica.units),
                 capacity_bytes=self._capacities[idx],
+                cost_per_hour=self._costs[idx],
             )
             self._state_cache[idx] = (now, state)
             states.append(state)
@@ -449,10 +562,26 @@ class ClusterServingSystem(ServingSystem):
             return ADMIT
         return self.admission.decide(request, self.replica_states(now), now)
 
+    def _is_down(self, idx: int, now: float) -> bool:
+        return self._down_until[idx] > now
+
     def route(self, request: Request, now: float) -> ExecutionUnit:
         candidates = [idx for idx, a in enumerate(self.active) if a]
-        if not candidates:  # pragma: no cover - active set is never empty
-            candidates = list(range(len(self.replicas)))
+        if not candidates:
+            # Degraded mode, reachable under failure injection: every replica
+            # is drained or down.  Route to the least-loaded drained replica
+            # (lowest KV utilisation, ties to the lower index) explicitly and
+            # surface the decision as a recorder event instead of silently
+            # borrowing whatever the router picks over the full fleet.
+            idx = min(
+                range(len(self.replicas)),
+                key=lambda i: (self.router.kv_load(self.replicas[i], now), i),
+            )
+            self.num_drained_routes += 1
+            self._drained_route_buffer.append((now, idx))
+            self.requests_per_replica[idx] += 1
+            self._invalidate(idx)
+            return self.replicas[idx].route(request, now)
         pool = [self.replicas[idx] for idx in candidates]
         local = self.router.select(request, pool, now)
         if not 0 <= local < len(pool):
@@ -465,36 +594,205 @@ class ClusterServingSystem(ServingSystem):
         return self.replicas[idx].route(request, now)
 
     def control_interval(self) -> Optional[float]:
-        return self.autoscaler.interval if self.autoscaler is not None else None
+        if self.autoscaler is not None:
+            return self.autoscaler.interval
+        if self._failure_schedule:
+            # Failure-only runs still need the control clock: failures fire,
+            # and recovered replicas rejoin, on control ticks.
+            return self.failure_check_interval
+        return None
 
-    def on_control_tick(self, now: float, recorder: TimeSeriesRecorder) -> None:
-        if self.autoscaler is None:
+    def on_run_start(self, recorder: TimeSeriesRecorder) -> None:
+        if self.autoscaler is None and not self._failure_schedule:
+            # Pre-elasticity path: no control state exists, keep the series
+            # empty exactly as before.
             return
-        states = self.replica_states(now)
-        desired = self.autoscaler.desired_active(states, now)
-        desired = max(1, min(desired, len(self.replicas)))
         current = self.num_active
-        if desired > current:
-            # Activate in index order: lowest-index inactive replicas first.
-            for idx, a in enumerate(self.active):
-                if current == desired:
-                    break
-                if not a:
-                    self.active[idx] = True
-                    current += 1
-        elif desired < current:
-            # Drain from the top: highest-index active replicas first.  The
-            # drained replica keeps finishing its in-flight requests; it just
-            # stops being a routing candidate.
-            for idx in range(len(self.active) - 1, -1, -1):
-                if current == desired:
-                    break
-                if self.active[idx]:
-                    self.active[idx] = False
-                    current -= 1
-        recorder.record("active_replicas", "cluster", now, float(current))
-        if not self.scale_events or self.scale_events[-1][1] != current:
-            self.scale_events.append((now, current))
+        recorder.record("active_replicas", "cluster", 0.0, float(current))
+        self.scale_events.append((0.0, current))
+
+    def on_control_tick(
+        self, now: float, recorder: TimeSeriesRecorder
+    ) -> Optional[List[Tuple[ExecutionUnit, Request, float]]]:
+        transfers: List[Tuple[ExecutionUnit, Request, float]] = []
+        if self._failure_schedule:
+            self._recover_replicas(now)
+            self._process_failures(now, recorder, transfers)
+        if self.autoscaler is not None:
+            states = self.replica_states(now)
+            desired = self.autoscaler.desired_active(states, now)
+            desired = max(1, min(desired, len(self.replicas)))
+            current = self.num_active
+            if desired > current:
+                # Blueprint choice: the policy ranks inactive replicas (index
+                # order by default, cheapest-that-clears-the-deficit when
+                # cost-aware).  Down replicas are not offered as candidates.
+                eligible = [
+                    s for s in states if s.active or not self._is_down(s.index, now)
+                ]
+                chosen = self.autoscaler.choose_scale_up(eligible, desired - current, now)
+                for idx in chosen:
+                    if current == desired:
+                        break
+                    if (
+                        0 <= idx < len(self.active)
+                        and not self.active[idx]
+                        and not self._is_down(idx, now)
+                    ):
+                        self.active[idx] = True
+                        current += 1
+                # Index-order fallback: a hook returning too few (or invalid)
+                # picks must not stall scale-up below the desired count.
+                for idx, a in enumerate(self.active):
+                    if current == desired:
+                        break
+                    if not a and not self._is_down(idx, now):
+                        self.active[idx] = True
+                        current += 1
+            elif desired < current:
+                # Drain from the top: highest-index active replicas first.
+                # Without migration the drained replica keeps finishing its
+                # in-flight requests; with it, movable queued/preempted work
+                # transfers to surviving replicas immediately.
+                for idx in range(len(self.active) - 1, -1, -1):
+                    if current == desired:
+                        break
+                    if self.active[idx]:
+                        self.active[idx] = False
+                        current -= 1
+                        if self._migration is not None:
+                            transfers.extend(self._migrate_off(idx, now, recorder))
+            recorder.record("active_replicas", "cluster", now, float(current))
+            if not self.scale_events or self.scale_events[-1][1] != current:
+                self.scale_events.append((now, current))
+        elif self._failure_schedule:
+            # No autoscaler: keep the activation series honest across
+            # failures/recoveries so churn runs still plot fleet size.
+            current = self.num_active
+            recorder.record("active_replicas", "cluster", now, float(current))
+            if not self.scale_events or self.scale_events[-1][1] != current:
+                self.scale_events.append((now, current))
+        if self._drained_route_buffer:
+            for t, idx in self._drained_route_buffer:
+                recorder.record("drained_routes", "cluster", t, float(idx))
+            self._drained_route_buffer.clear()
+        if self._failure_schedule:
+            # Churn runs always request the engine's restart sweep: a replica
+            # whose pause just elapsed has stalled queued work that no event
+            # of its own will ever restart.
+            return transfers
+        return transfers or None
+
+    # -- failure injection and migration ---------------------------------------
+
+    def _recover_replicas(self, now: float) -> None:
+        """Re-admit replicas whose recovery window has elapsed.
+
+        Without an autoscaler the fleet is fixed-size, so a recovered replica
+        rejoins the routable set automatically.  With one, recovery only ends
+        the down window -- the autoscaler decides whether (and when) the
+        replica is worth reactivating via its scale-up hook.
+        """
+        if self.autoscaler is not None:
+            return
+        for idx in range(len(self.active)):
+            if not self.active[idx] and 0.0 < self._down_until[idx] <= now:
+                self.active[idx] = True
+                self._down_until[idx] = 0.0
+
+    def _process_failures(
+        self,
+        now: float,
+        recorder: TimeSeriesRecorder,
+        transfers: List[Tuple[ExecutionUnit, Request, float]],
+    ) -> None:
+        while self._failure_cursor < len(self._failure_schedule):
+            t, idx = self._failure_schedule[self._failure_cursor]
+            if t > now:
+                break
+            self._failure_cursor += 1
+            self._fail_replica(idx, now, recorder, transfers)
+
+    def _fail_replica(
+        self,
+        idx: int,
+        now: float,
+        recorder: TimeSeriesRecorder,
+        transfers: List[Tuple[ExecutionUnit, Request, float]],
+    ) -> None:
+        """Spot-reclaim one replica: preempt its work and take it offline.
+
+        Running requests lose their KV cache (recompute-on-restart) and land
+        back in the replica's queue.  With migration on, everything queued --
+        including the just-preempted work -- transfers to surviving replicas;
+        with migration off it rides out the outage in place, which is the
+        SLO damage the churn experiment measures.
+        """
+        replica = self.replicas[idx]
+        self.active[idx] = False
+        self._down_until[idx] = now + self.failure_recovery_time
+        self.failure_events.append((now, idx))
+        recorder.record("failures", "cluster", now, float(idx))
+        for unit in replica.units:
+            unit.preempt_running(now)
+            # The outage is real: the engine will not start iterations on
+            # this unit until the recovery window elapses.
+            unit.paused_until = self._down_until[idx]
+        self._invalidate(idx)
+        if self._migration is not None:
+            transfers.extend(self._migrate_off(idx, now, recorder))
+
+    def _migrate_off(
+        self, src_idx: int, now: float, recorder: TimeSeriesRecorder
+    ) -> List[Tuple[ExecutionUnit, Request, float]]:
+        """Evict movable work from one replica and price its transfers."""
+        assert self._migration is not None
+        replica = self.replicas[src_idx]
+        evicted: List[Request] = []
+        for unit in replica.units:
+            evicted.extend(unit.evict_queued(now))
+        if not evicted:
+            return []
+        self._invalidate(src_idx)
+        moves: List[Tuple[int, int, int, int]] = []
+        targets: List[Tuple[ExecutionUnit, Request]] = []
+        for req in evicted:
+            dst_idx, dst_unit = self._route_transfer(req, now)
+            moves.append((req.request_id, req.context_length, src_idx, dst_idx))
+            targets.append((dst_unit, req))
+        plan = self._migration.plan(moves)
+        self.num_migrated_requests += plan.num_requests
+        self.migrated_bytes += plan.total_bytes
+        self.migration_events.append((now, src_idx, plan.num_requests, plan.total_bytes))
+        recorder.record("migrations", "cluster", now, float(plan.num_requests))
+        recorder.record("migrated_bytes", "cluster", now, float(plan.total_bytes))
+        return [
+            (dst_unit, req, now + step.transfer_seconds)
+            for step, (dst_unit, req) in zip(plan.steps, targets)
+        ]
+
+    def _route_transfer(self, request: Request, now: float) -> Tuple[int, ExecutionUnit]:
+        """Pick the replica that receives one migrated request.
+
+        Active replicas via the normal router; when none are active (e.g. the
+        last replica just failed), any replica that is not down; as a final
+        resort, the full fleet.  ``requests_per_replica`` is *not* bumped --
+        the request was already counted when it originally routed.
+        """
+        candidates = [i for i, a in enumerate(self.active) if a]
+        if not candidates:
+            candidates = [
+                i for i in range(len(self.replicas)) if not self._is_down(i, now)
+            ]
+        if not candidates:
+            candidates = list(range(len(self.replicas)))
+        pool = [self.replicas[i] for i in candidates]
+        local = self.router.select(request, pool, now)
+        if not 0 <= local < len(pool):
+            raise ValueError(f"router {self.router.name} chose invalid replica {local}")
+        idx = candidates[local]
+        self._invalidate(idx)
+        return idx, self.replicas[idx].route(request, now)
 
     def on_iteration(
         self,
@@ -524,5 +822,12 @@ class ClusterServingSystem(ServingSystem):
             extras.append(f"autoscaler={self.autoscaler.name}@{self.autoscaler.interval:g}s")
         if self.admission is not None:
             extras.append(f"admission={self.admission.name}[{self.admission.mode}]")
+        if self._migration is not None:
+            extras.append(f"migration@{self._migration.bandwidth_gbps:g}Gbps")
+        if self._failure_schedule:
+            extras.append(
+                f"failures={len(self._failure_schedule)}"
+                f"(recovery {self.failure_recovery_time:g}s)"
+            )
         suffix = f" ({', '.join(extras)})" if extras else ""
         return f"{self.name} via {self.router.name}{suffix}: {inner}"

@@ -22,7 +22,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.registry import Registry
 from repro.sim.engine import ADMIT, AdmissionDecision
@@ -39,6 +39,7 @@ class ReplicaState:
     queue_depth: int        # requests waiting (incl. pending hand-offs) across units
     num_running: int        # requests currently in running batches
     capacity_bytes: float   # fixed KV capacity of the replica (heterogeneity weight)
+    cost_per_hour: float = 0.0  # rental price of the replica's devices ($/hr)
 
 
 def _active(states: Sequence[ReplicaState]) -> Sequence[ReplicaState]:
@@ -64,6 +65,12 @@ class AutoscalerPolicy(abc.ABC):
         Consecutive ticks the policy must want fewer replicas before one is
         actually drained -- simple hysteresis against flapping on noisy load.
         Scale-up is always immediate.
+    cost_aware:
+        When true, :meth:`choose_scale_up` picks the cheapest inactive
+        replica (by :attr:`ReplicaState.cost_per_hour`) predicted to clear
+        the current load deficit, instead of blind lowest-index activation.
+        Off by default: index order is the historical behavior and the
+        snapshot gates depend on it.
     """
 
     name: str = "autoscaler"
@@ -74,6 +81,7 @@ class AutoscalerPolicy(abc.ABC):
         min_replicas: int = 1,
         initial_active: Optional[int] = None,
         scale_down_patience: int = 2,
+        cost_aware: bool = False,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be > 0")
@@ -85,6 +93,7 @@ class AutoscalerPolicy(abc.ABC):
         self.min_replicas = min_replicas
         self.initial_active = initial_active if initial_active is not None else min_replicas
         self.scale_down_patience = scale_down_patience
+        self.cost_aware = bool(cost_aware)
         self._below_ticks = 0
 
     def reset(self) -> None:
@@ -115,6 +124,59 @@ class AutoscalerPolicy(abc.ABC):
         # Drain one replica per decision: gradual scale-down keeps tail
         # latency stable while the burst may still return.
         return current - 1
+
+    def load_deficit_bytes(self, states: Sequence[ReplicaState]) -> float:
+        """KV bytes held by active replicas beyond the comfortable target.
+
+        This is the capacity a scale-up must absorb.  Policies with an
+        explicit utilization target (``target-kv``) use it; others fall back
+        to a 0.6 comfort level -- the deficit only *ranks* candidate
+        blueprints, so the exact level is not critical.
+        """
+        active = _active(states)
+        used = sum(s.kv_utilization * s.capacity_bytes for s in active)
+        budget = sum(s.capacity_bytes for s in active)
+        target = getattr(self, "target_utilization", 0.6)
+        return max(0.0, used - target * budget)
+
+    def choose_scale_up(
+        self, states: Sequence[ReplicaState], num_needed: int, now: float
+    ) -> List[int]:
+        """Blueprint choice: which inactive replicas to activate, in order.
+
+        The default (``cost_aware=False``) activates in index order, which is
+        the historical lowest-index-first behavior.  With ``cost_aware=True``
+        each pick is the cheapest inactive replica whose KV capacity clears
+        the remaining load deficit; when no single blueprint clears it, the
+        best capacity-per-dollar candidate is taken instead (the AlpaServe
+        simulator-as-oracle move: rank deployment choices by predicted
+        effect, not by index).  Ties break on capacity, then index, so
+        heterogeneous fleets activate deterministically.
+        """
+        candidates = [s for s in states if not s.active]
+        if not self.cost_aware:
+            return [s.index for s in candidates[:num_needed]]
+        chosen: List[int] = []
+        deficit = self.load_deficit_bytes(states)
+        remaining = list(candidates)
+        for _ in range(num_needed):
+            if not remaining:
+                break
+            clearing = [s for s in remaining if s.capacity_bytes >= deficit]
+            if clearing:
+                pick = min(clearing, key=lambda s: (s.cost_per_hour, s.capacity_bytes, s.index))
+            else:
+                pick = min(
+                    remaining,
+                    key=lambda s: (
+                        s.cost_per_hour / s.capacity_bytes if s.capacity_bytes > 0 else math.inf,
+                        s.index,
+                    ),
+                )
+            chosen.append(pick.index)
+            remaining.remove(pick)
+            deficit = max(0.0, deficit - pick.capacity_bytes)
+        return chosen
 
 
 class TargetKVUtilizationAutoscaler(AutoscalerPolicy):

@@ -47,7 +47,8 @@ from repro.sim.engine import SimulationResult
 #: key folds the version in, so stale cache directories become misses instead
 #: of silently serving rows with missing fields.
 #: v2: rows gained truncated/truncation_reason.
-CACHE_VERSION = 2
+#: v3: rows gained num_dropped_retries.
+CACHE_VERSION = 3
 
 #: Scalar SummaryStats fields copied into every deployment summary row.
 SUMMARY_FIELDS: Tuple[str, ...] = (
@@ -64,6 +65,7 @@ SUMMARY_FIELDS: Tuple[str, ...] = (
     "total_preemptions",
     "num_rejected",
     "num_deferrals",
+    "num_dropped_retries",
     "slo_attainment",
     "goodput_rps",
     "rejection_rate",

@@ -71,6 +71,11 @@ class Cluster:
     def total_memory_bytes(self) -> int:
         return sum(d.spec.memory_bytes for d in self.devices)
 
+    @property
+    def cost_per_hour(self) -> float:
+        """Aggregate rental price ($/hr) of every device in the cluster."""
+        return sum(d.spec.cost_per_hour for d in self.devices)
+
     def counts_by_type(self) -> Dict[str, int]:
         """Number of devices of each type, keyed by spec name."""
         counts: Dict[str, int] = {}

@@ -51,6 +51,11 @@ class GPUSpec:
     pcie_bandwidth:
         Host <-> device PCIe bandwidth (bytes/s); used for CPU off/on-loading
         and intra-host traffic that cannot use peer-to-peer copies.
+    cost_per_hour:
+        Rental price in $/hr, roughly on-demand cloud/colo rates.  Only
+        *relative* magnitudes matter: the cost-aware autoscaler uses these to
+        rank inactive replica blueprints when scaling up a heterogeneous
+        fleet.  Defaults to 0 (cost-unaware) for ad-hoc specs.
     """
 
     name: str
@@ -60,6 +65,7 @@ class GPUSpec:
     mem_bandwidth: float
     kernel_overhead: float = 5e-6
     pcie_bandwidth: float = giga(12.0)
+    cost_per_hour: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive("memory_bytes", self.memory_bytes)
@@ -69,6 +75,8 @@ class GPUSpec:
         check_positive("pcie_bandwidth", self.pcie_bandwidth)
         if self.kernel_overhead < 0:
             raise ValueError("kernel_overhead must be >= 0")
+        if self.cost_per_hour < 0:
+            raise ValueError("cost_per_hour must be >= 0")
 
     @property
     def memory_gb(self) -> float:
@@ -136,6 +144,7 @@ register_gpu_spec(
         mem_bandwidth=giga(1700.0),
         kernel_overhead=4e-6,
         pcie_bandwidth=giga(24.0),
+        cost_per_hour=3.00,
     )
 )
 
@@ -148,6 +157,7 @@ register_gpu_spec(
         mem_bandwidth=giga(900.0),
         kernel_overhead=5e-6,
         pcie_bandwidth=giga(12.0),
+        cost_per_hour=0.85,
     )
 )
 
@@ -161,6 +171,7 @@ register_gpu_spec(
         mem_bandwidth=giga(330.0),
         kernel_overhead=16e-6,
         pcie_bandwidth=giga(10.0),
+        cost_per_hour=0.55,
     )
 )
 
@@ -175,6 +186,7 @@ register_gpu_spec(
         mem_bandwidth=giga(780.0),
         kernel_overhead=6e-6,
         pcie_bandwidth=giga(12.0),
+        cost_per_hour=1.80,
     )
 )
 
@@ -187,6 +199,7 @@ register_gpu_spec(
         mem_bandwidth=giga(700.0),
         kernel_overhead=5e-6,
         pcie_bandwidth=giga(20.0),
+        cost_per_hour=1.30,
     )
 )
 
@@ -199,6 +212,7 @@ register_gpu_spec(
         mem_bandwidth=giga(260.0),
         kernel_overhead=8e-6,
         pcie_bandwidth=giga(10.0),
+        cost_per_hour=0.35,
     )
 )
 

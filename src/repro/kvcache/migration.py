@@ -1,4 +1,4 @@
-"""Partial, head-wise KV-cache migration planning for the Hauler.
+"""KV-cache migration planning: head-wise (Hauler) and replica-level (elasticity).
 
 Re-dispatching a request changes its per-device head allocation vector
 ``x^j = (x^j_1, ..., x^j_N)``.  The Hauler exploits the overlap between the
@@ -7,12 +7,19 @@ all, and only the net surplus flows from over-allocated to under-allocated
 devices.  :func:`plan_head_migration` computes that minimal set of transfers
 and their byte volumes; the simulator turns them into (possibly overlapped,
 low-priority) transfer events.
+
+On top of that sits the *replica-level* planner used by elastic serving:
+when a replica drains (scale-down) or is preempted (spot churn), its queued
+and preempted requests move wholesale to surviving replicas.  A whole-request
+move carries the full KV footprint -- ``kv_bytes_per_token() x context`` --
+and :class:`ReplicaMigrationPlanner` prices each move and converts it into a
+transfer delay over the inter-replica link.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.models.spec import ModelSpec
 
@@ -130,3 +137,100 @@ def plan_head_migration(
         if deficit[receiver] == 0:
             ri += 1
     return MigrationPlan(steps=steps)
+
+
+# ---------------------------------------------------------------------------
+# Replica-level migration (elastic serving: drains and failures).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicaMigrationStep:
+    """Move one whole request's KV footprint between replicas.
+
+    Unlike :class:`MigrationStep` (a *partial*, head-wise move inside one
+    replica's device group), a replica-level step always carries the full
+    cache of the request: ``n_bytes = context_tokens x kv_bytes_per_token``.
+    """
+
+    request_id: int
+    src_replica: int
+    dst_replica: int
+    context_tokens: int
+    n_bytes: float
+    transfer_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.context_tokens < 0:
+            raise ValueError("context_tokens must be >= 0")
+        if self.n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        if self.transfer_seconds < 0:
+            raise ValueError("transfer_seconds must be >= 0")
+
+
+@dataclass
+class ReplicaMigrationPlan:
+    """Priced whole-request moves for one drain/failure decision."""
+
+    steps: List[ReplicaMigrationStep] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(s.n_bytes for s in self.steps)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.steps)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.steps
+
+
+class ReplicaMigrationPlanner:
+    """Prices whole-request KV moves over the inter-replica link.
+
+    Parameters
+    ----------
+    model:
+        Model whose per-token KV footprint prices the move.  ``None`` makes
+        every move free and instantaneous (unit tests, model-less systems).
+    bandwidth_gbps:
+        Effective inter-replica link bandwidth in giga*bits*/s (a 100 Gbps
+        LAN by default).  Each step's ``transfer_seconds`` is its byte volume
+        over this link; transfers are modeled as overlapped, low-priority
+        copies, so steps are priced independently rather than serialized.
+    """
+
+    def __init__(self, model: Optional[ModelSpec], bandwidth_gbps: float = 100.0) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be > 0")
+        self.model = model
+        self.bandwidth_gbps = bandwidth_gbps
+        self.bytes_per_second = bandwidth_gbps * 1e9 / 8.0
+        self._kv_bytes_per_token = model.kv_bytes_per_token() if model is not None else 0.0
+
+    def plan(
+        self, moves: Iterable[Tuple[int, int, int, int]]
+    ) -> ReplicaMigrationPlan:
+        """Price a batch of whole-request moves.
+
+        ``moves`` is an iterable of ``(request_id, context_tokens,
+        src_replica, dst_replica)`` tuples; step order follows input order so
+        callers control determinism.
+        """
+        steps: List[ReplicaMigrationStep] = []
+        for request_id, context_tokens, src_replica, dst_replica in moves:
+            n_bytes = context_tokens * self._kv_bytes_per_token
+            steps.append(
+                ReplicaMigrationStep(
+                    request_id=request_id,
+                    src_replica=src_replica,
+                    dst_replica=dst_replica,
+                    context_tokens=context_tokens,
+                    n_bytes=n_bytes,
+                    transfer_seconds=n_bytes / self.bytes_per_second,
+                )
+            )
+        return ReplicaMigrationPlan(steps=steps)

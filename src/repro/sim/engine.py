@@ -78,8 +78,27 @@ class ServingSystem(abc.ABC):
         """
         return None
 
-    def on_control_tick(self, now: float, recorder: TimeSeriesRecorder) -> None:
-        """Control-plane hook invoked every :meth:`control_interval` seconds."""
+    def on_run_start(self, recorder: TimeSeriesRecorder) -> None:
+        """Hook invoked once at t=0, before the first event is processed.
+
+        Systems with recorded control state (e.g. the replica activation
+        series) use this to capture the initial fleet state so short runs do
+        not plot an empty/late series.  Default: nothing to record.
+        """
+
+    def on_control_tick(
+        self, now: float, recorder: TimeSeriesRecorder
+    ) -> Optional[List[Tuple[ExecutionUnit, Request, float]]]:
+        """Control-plane hook invoked every :meth:`control_interval` seconds.
+
+        May return deferred enqueues as ``(target_unit, request, ready_time)``
+        triples -- this is how drain/failure-driven KV migration expresses its
+        transfer latency: the request rematerializes on the target unit once
+        its cache lands.  An empty list schedules nothing but still triggers a
+        unit restart sweep (failure recovery un-pauses stalled queues);
+        ``None`` (the default) does neither.
+        """
+        return None
 
     def on_iteration(
         self,
@@ -230,7 +249,7 @@ class Engine:
         def maybe_start(unit: ExecutionUnit, at: float) -> None:
             nonlocal seq
             i = unit_index[id(unit)]
-            if busy[i] or not unit.has_work():
+            if busy[i] or unit.paused_until > at or not unit.has_work():
                 return
             iteration = unit.next_iteration(at)
             if iteration is None:
@@ -255,6 +274,15 @@ class Engine:
         if control_interval is not None and control_interval > 0 and next_entry is not None:
             seq += 1
             heappush(events, (control_interval, _KIND_CONTROL, seq, None))
+
+        self.system.on_run_start(self.recorder)
+
+        # Requests with a defer-retry arrival event currently in the heap,
+        # keyed by request id.  If the run is truncated while a retry is still
+        # pending, that request would otherwise vanish from the books entirely
+        # (neither finished, rejected, nor visibly truncated) and skew the
+        # rejection-rate denominator.
+        deferred_pending: Dict[int, Request] = {}
 
         truncated = False
         truncation_reason: Optional[str] = None
@@ -296,11 +324,13 @@ class Engine:
 
             if kind == _KIND_ARRIVAL:
                 request = payload  # type: ignore[assignment]
+                deferred_pending.pop(request.request_id, None)
                 decision = self.system.admit(request, now)
                 if decision.action == "reject":
                     self.metrics.observe_rejection(request, now)
                 elif decision.action == "defer":
                     self.metrics.observe_deferral(request, now)
+                    deferred_pending[request.request_id] = request
                     seq += 1
                     heappush(
                         events,
@@ -314,9 +344,16 @@ class Engine:
 
             elif kind == _KIND_ENQUEUE:
                 unit, request = payload  # type: ignore[misc]
-                if request.status.value == "migrating":
-                    request.end_migration()
-                unit.enqueue_prefilled(request, now)
+                status = request.status.value
+                if status in ("queued", "preempted"):
+                    # Drain/failure migration: the request's KV (if any) was
+                    # dropped at the source, so it re-enters the target's
+                    # prefill queue rather than the decode path.
+                    unit.enqueue(request, now)
+                else:
+                    if status == "migrating":
+                        request.end_migration()
+                    unit.enqueue_prefilled(request, now)
                 maybe_start(unit, now)
 
             elif kind == _KIND_UNIT_DONE:
@@ -340,8 +377,29 @@ class Engine:
                 sweep_pending = True
 
             elif kind == _KIND_CONTROL:
-                self.system.on_control_tick(now, self.recorder)
-                if events or next_entry is not None:
+                transfers = self.system.on_control_tick(now, self.recorder)
+                if transfers is not None:
+                    # Drain/failure migration: each evicted request lands on
+                    # its target unit once the (low-priority, overlapped) KV
+                    # transfer completes.  An *empty* list still requests a
+                    # restart sweep -- that is how a replica recovering from a
+                    # failure gets its stalled queue moving again.
+                    for target, req, ready_time in transfers:
+                        seq += 1
+                        heappush(
+                            events,
+                            (max(ready_time, now), _KIND_ENQUEUE, seq, (target, req)),
+                        )
+                    sweep_pending = True
+                # Re-arm while anything can still make progress.  The unit
+                # scan matters for failure runs: a paused replica's queued
+                # work generates no events of its own, and without the tick
+                # clock its recovery would never be observed.
+                if (
+                    events
+                    or next_entry is not None
+                    or any(u.has_work() for u in units)
+                ):
                     seq += 1
                     heappush(
                         events, (now + control_interval, _KIND_CONTROL, seq, None)
@@ -352,6 +410,22 @@ class Engine:
                 for j, other in enumerate(units):
                     if not busy[j] and other.has_work():
                         maybe_start(other, now)
+
+        if truncated and deferred_pending:
+            # Retry arrivals still in the heap when the run was cut off (plus,
+            # for the max_simulated_time cutoff, the popped-but-unprocessed
+            # event itself) would otherwise vanish uncounted.  Each one is a
+            # request the deployment was offered and never served, so it is
+            # booked as a rejection -- keeping rejection_rate's denominator
+            # equal to the offered load.
+            leftovers = list(events)
+            if truncation_reason == "max_simulated_time":
+                leftovers.append((time, kind, 0, payload))
+            for _, ev_kind, _, ev_payload in leftovers:
+                if ev_kind != _KIND_ARRIVAL or not isinstance(ev_payload, Request):
+                    continue
+                if deferred_pending.pop(ev_payload.request_id, None) is not None:
+                    self.metrics.observe_dropped_retry(ev_payload, now)
 
         # The engine's unit set is fixed for the lifetime of a run (the
         # snapshot above is the complete set that ever executed work), so the

@@ -235,6 +235,9 @@ class SummaryStats:
     # SLO-attainment / goodput block (admission control & elasticity runs).
     num_rejected: int = 0
     num_deferrals: int = 0
+    # Deferred arrivals whose retry fell past the truncation horizon; a
+    # subset of num_rejected (they count as rejections of offered load).
+    num_dropped_retries: int = 0
     slo_attainment: float = 1.0
     goodput_rps: float = 0.0
     rejection_rate: float = 0.0
@@ -268,6 +271,7 @@ class MetricsCollector:
         self.quantile_epsilon = quantile_epsilon
         self.num_rejected = 0
         self.num_deferrals = 0
+        self.num_dropped_retries = 0
         self.num_arrivals = 0
         self._start_time: Optional[float] = None
         self._end_time: float = 0.0
@@ -314,6 +318,19 @@ class MetricsCollector:
         if self._start_time is None or now < self._start_time:
             self._start_time = now
         self._end_time = max(self._end_time, now)
+
+    def observe_dropped_retry(self, request: Request, now: float) -> None:
+        """A deferred arrival whose retry fell past the simulation horizon.
+
+        The request was offered to the deployment and never served, so it is
+        booked as a rejection (keeping ``rejection_rate``'s denominator equal
+        to the offered load) and counted separately for truncation reports.
+        ``now`` is the truncation time, not the retry's scheduled time --
+        using the latter would stretch the observation window past the cutoff
+        and deflate every rate metric.
+        """
+        self.num_dropped_retries += 1
+        self.observe_rejection(request, now)
 
     def observe_finish(self, request: Request) -> None:
         record = RequestRecord.from_request(request)
@@ -404,6 +421,7 @@ class MetricsCollector:
             },
             num_rejected=self.num_rejected,
             num_deferrals=self.num_deferrals,
+            num_dropped_retries=self.num_dropped_retries,
             slo_attainment=num_attained / n if n else 1.0,
             goodput_rps=num_attained / duration,
             rejection_rate=self.num_rejected / num_offered if num_offered else 0.0,
@@ -433,6 +451,7 @@ class MetricsCollector:
             },
             num_rejected=self.num_rejected,
             num_deferrals=self.num_deferrals,
+            num_dropped_retries=self.num_dropped_retries,
             slo_attainment=self._attained / n if n else 1.0,
             goodput_rps=self._attained / duration,
             rejection_rate=self.num_rejected / num_offered if num_offered else 0.0,

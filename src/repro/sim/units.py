@@ -32,6 +32,10 @@ class ExecutionUnit(abc.ABC):
 
     def __init__(self, name: str) -> None:
         self.name = name
+        # Failure injection: while ``now < paused_until`` the engine will not
+        # start iterations on this unit (the replica is down); queued work
+        # stays put and resumes after recovery.  0.0 = never paused.
+        self.paused_until: float = 0.0
 
     # -- request ingress ---------------------------------------------------------
 
@@ -42,6 +46,28 @@ class ExecutionUnit(abc.ABC):
     def enqueue_prefilled(self, request: Request, now: float) -> None:
         """Accept a request whose prefill ran elsewhere (Splitwise hand-off)."""
         raise NotImplementedError(f"{self.name} does not accept prefilled requests")
+
+    # -- request egress (drains / failures) ---------------------------------------
+
+    def evict_queued(self, now: float) -> List[Request]:
+        """Remove and return requests that can move to another unit.
+
+        Only requests with no live KV on this unit -- freshly queued or
+        preempted (recompute-on-preempt drops their cache) -- are movable;
+        requests mid-prefill hold blocks and stay.  The base implementation
+        moves nothing, so units without an eviction story (e.g. Hetis
+        instance units with head-sliced placements) simply keep their work.
+        """
+        return []
+
+    def preempt_running(self, now: float) -> List[Request]:
+        """Preempt every in-flight request (failure injection).
+
+        Preempted requests lose their KV cache and land back in the waiting
+        queue with recompute-on-restart semantics; the returned list is what
+        was preempted.  Base implementation: nothing to preempt.
+        """
+        return []
 
     # -- iteration protocol --------------------------------------------------------
 
@@ -163,6 +189,27 @@ class StaticPipelineUnit(ExecutionUnit):
         if self.mode == "prefill":
             raise RuntimeError(f"{self.name} is prefill-only and cannot decode")
         self.pending_prefilled.append(request)
+
+    # -- egress (drains / failures) ------------------------------------------------
+
+    def evict_queued(self, now: float) -> List[Request]:
+        movable = [
+            r
+            for r in self.waiting
+            if r.status in (RequestStatus.QUEUED, RequestStatus.PREEMPTED)
+        ]
+        for req in movable:
+            self.waiting.remove(req)
+        return movable
+
+    def preempt_running(self, now: float) -> List[Request]:
+        victims = [r for r in self.running if not r.is_finished]
+        # Partially-prefilled requests sit in the waiting queue but hold KV
+        # blocks for their full prefill target; a failure drops those too.
+        victims += [r for r in self.waiting if r.status == RequestStatus.PREFILLING]
+        for req in victims:
+            self._preempt(req)
+        return victims
 
     # -- cache helpers -------------------------------------------------------------------
 

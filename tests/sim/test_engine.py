@@ -84,3 +84,44 @@ def test_splitwise_handoff_path_end_to_end():
     # raw prefill time alone would suggest; here we just require positivity
     # and that every request produced its full output.
     assert result.summary.mean_ttft > 0
+
+
+def test_truncated_defer_retries_counted_as_rejections():
+    """Regression: a deferred arrival whose retry lands past the horizon
+    must still be counted (as a rejection) instead of vanishing from the
+    rejection-rate denominator."""
+    from repro.api import build_replicated_system, run_system
+    from repro.core.elasticity import QueueThresholdAdmission
+
+    system = build_replicated_system(
+        "static-tp", "llama-13b", 1, cluster_kind="small",
+        admission=QueueThresholdAdmission(max_queue_depth=1, mode="defer", retry_delay=5.0),
+    )
+    # Saturate instantly: everything past the first few arrivals defers, and
+    # the tight horizon strands the retries.
+    trace = generate_trace("sharegpt", 50.0, 40, seed=0)
+    result = run_system(system, trace, max_simulated_time=1.0)
+    s = result.summary
+    assert result.truncated and result.truncation_reason == "max_simulated_time"
+    assert s.num_dropped_retries > 0
+    assert s.num_rejected >= s.num_dropped_retries
+    # Offered load is conserved: every trace entry arrived before the cutoff
+    # and was either admitted or (eventually) rejected, so the rejection-rate
+    # denominator is exactly the trace length -- dropped retries included.
+    assert s.rejection_rate == pytest.approx(s.num_rejected / len(trace))
+
+
+def test_defer_retry_served_within_horizon_not_counted_dropped():
+    from repro.api import build_replicated_system, run_system
+    from repro.core.elasticity import QueueThresholdAdmission
+
+    system = build_replicated_system(
+        "static-tp", "llama-13b", 1, cluster_kind="small",
+        admission=QueueThresholdAdmission(max_queue_depth=2, mode="defer", retry_delay=0.25),
+    )
+    trace = generate_trace("sharegpt", 20.0, 24, seed=0)
+    result = run_system(system, trace, max_simulated_time=600.0)
+    s = result.summary
+    assert not result.truncated
+    assert s.num_dropped_retries == 0
+    assert s.num_finished == 24

@@ -11,6 +11,7 @@ from repro.config import (
     ConfigError,
     DeploymentSpec,
     ElasticitySpec,
+    FailureSpec,
     RouterSpec,
     SystemSpec,
     WorkloadSpec,
@@ -429,3 +430,78 @@ class TestMetricsSpec:
         assert result.metrics.records == []
         assert result.recorder.max_samples_per_key == 64
         assert not result.truncated
+
+
+class TestFailureSpec:
+    def test_round_trip(self):
+        fs = FailureSpec(
+            events=[[5.0, 0], {"time": 12.0, "replica": 2}],
+            rate=0.05, num_failures=3, seed=7, recovery_time=60.0, check_interval=0.5,
+        )
+        assert fs.events == ((5.0, 0), (12.0, 2))
+        rebuilt = FailureSpec.from_dict(fs.to_dict())
+        assert rebuilt == fs
+        spec = DeploymentSpec(
+            cluster=ClusterSpec(kind="small", replicas=3), failures=fs
+        )
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+        assert spec.is_replicated
+
+    def test_enabled(self):
+        assert not FailureSpec().enabled
+        assert FailureSpec(events=[[1.0, 0]]).enabled
+        assert FailureSpec(rate=0.1, num_failures=2).enabled
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="time"):
+            FailureSpec(events=[[-1.0, 0]])
+        with pytest.raises(ConfigError, match="replica"):
+            FailureSpec(events=[[1.0, -2]])
+        with pytest.raises(ConfigError, match="pairs"):
+            FailureSpec(events=[[1.0]])
+        with pytest.raises(ConfigError, match="rate"):
+            FailureSpec(rate=-0.1)
+        with pytest.raises(ConfigError, match="num_failures"):
+            FailureSpec(rate=0.5)
+        with pytest.raises(ConfigError, match="recovery_time"):
+            FailureSpec(recovery_time=-1.0)
+        with pytest.raises(ConfigError, match="check_interval"):
+            FailureSpec(check_interval=0.0)
+        with pytest.raises(ConfigError, match="unknown"):
+            FailureSpec.from_dict({"rates": 0.5})
+
+    def test_build_schedule_deterministic_and_sorted(self):
+        fs = FailureSpec(events=[[30.0, 1]], rate=0.1, num_failures=4, seed=3)
+        a = fs.build_schedule(4)
+        b = fs.build_schedule(4)
+        assert a == b
+        assert a == sorted(a)
+        assert len(a) == 5
+        assert all(0 <= idx < 4 for _, idx in a)
+        # A different seed produces a different generated schedule.
+        assert FailureSpec(rate=0.1, num_failures=4, seed=4).build_schedule(4) != \
+            FailureSpec(rate=0.1, num_failures=4, seed=3).build_schedule(4)
+
+    def test_build_schedule_rejects_out_of_range_replica(self):
+        fs = FailureSpec(events=[[1.0, 5]])
+        with pytest.raises(ConfigError, match="only 2 replicas"):
+            fs.build_schedule(2)
+
+    def test_override_paths(self):
+        spec = DeploymentSpec(cluster=ClusterSpec(kind="small", replicas=2))
+        ov = spec.with_overrides({"failures.rate": 0.2, "failures.num_failures": 1})
+        assert ov.failures is not None and ov.failures.rate == 0.2
+        with pytest.raises(ConfigError, match="unknown field"):
+            spec.with_overrides({"failures.cadence": 1.0})
+
+    def test_migration_round_trip_and_override(self):
+        spec = DeploymentSpec(
+            cluster=ClusterSpec(kind="small", replicas=2),
+            elasticity=ElasticitySpec(migration=True, migration_bandwidth_gbps=40.0),
+        )
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+        assert spec.is_replicated and spec.elasticity.enabled
+        flipped = spec.with_overrides({"elasticity.migration": False})
+        assert not flipped.elasticity.migration
+        with pytest.raises(ConfigError, match="migration_bandwidth_gbps"):
+            ElasticitySpec(migration_bandwidth_gbps=0.0)
