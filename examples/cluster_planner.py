@@ -1,46 +1,89 @@
 #!/usr/bin/env python3
-"""Cluster planning: what does Hetis' Parallelizer do with *your* GPU mix?
+"""Fleet planning: the cheapest deployment that meets your SLO.
 
-This example uses the Parallelizer as a standalone planning tool: describe a
-heterogeneous cluster (any mix of the catalog's GPU types), pick a model and a
-workload shape, and see which devices become Primary workers, which become
-pooled Attention workers, how layers are split across pipeline stages, and how
-much KV-cache capacity the deployment ends up with.
+This example drives the SLO-aware :class:`~repro.experiments.planner.FleetPlanner`
+end to end: describe the blueprints you can rent and the replica counts you
+would consider, set an SLO-attainment target, and the planner searches the
+deployment grid -- cheapest candidates first, pruning every configuration
+proved dominated -- with the full serving simulator scoring each candidate.
 
-Run:  python examples/cluster_planner.py --gpus a100:2 rtx3090:4 t4:4 --model llama-13b
+By default it runs the checked-in ``examples/configs/planner_slo.toml`` study;
+point ``--config`` at your own ``[planner]``/``[deployment]`` file to plan a
+different fleet.  ``--layout`` keeps the old behaviour of this example: run
+the single-deployment Parallelizer and print the Primary/Attention role
+assignment for one described cluster.
+
+Run:  python examples/cluster_planner.py --jobs 4
+      python examples/cluster_planner.py --layout --gpus a100:2 rtx3090:4 --model llama-13b
 """
 
 import argparse
+from pathlib import Path
 
-from repro.core.parallelizer import Parallelizer, WorkloadHint
-from repro.hardware.cluster import ClusterBuilder
-from repro.models.spec import get_model_spec
+from repro.experiments.planner import FleetPlanner, load_planner
 
-
-def parse_gpu_arg(spec: str):
-    name, _, count = spec.partition(":")
-    return name, int(count or "1")
+DEFAULT_CONFIG = Path(__file__).parent / "configs" / "planner_slo.toml"
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--gpus",
-        nargs="+",
-        default=["a100:4", "rtx3090:2", "rtx3090:2", "p100:4"],
-        help="one entry per host, e.g. a100:4 rtx3090:2 (type:count)",
+def run_fleet_plan(args: argparse.Namespace) -> None:
+    planner = load_planner(args.config)
+    print(f"Planner {planner.name}: {planner.description or '(no description)'}")
+    print(f"  base deployment: {planner.deployment.describe()}")
+    if planner.inventory is not None:
+        listing = ", ".join(f"{k} x{v}" for k, v in sorted(planner.inventory.items()))
+        print(f"  inventory: {listing}")
+    print(
+        f"  {planner.num_points} candidates over {', '.join(planner.axes)}; "
+        f"target attainment {planner.target_attainment:g}\n"
     )
-    parser.add_argument("--model", default="llama-70b")
-    parser.add_argument("--avg-prompt", type=int, default=512)
-    parser.add_argument("--avg-context", type=int, default=1024)
-    parser.add_argument("--concurrency", type=int, default=64)
-    parser.add_argument("--delta", type=float, default=0.05, help="pruning threshold")
-    args = parser.parse_args()
+
+    result = FleetPlanner(planner, jobs=args.jobs, cache_dir=args.cache).plan()
+
+    print(
+        f"Search evaluated {result.num_evaluated} of {result.total_points} candidates "
+        f"(pruned {result.num_pruned} as dominated, "
+        f"filtered {result.num_filtered} by inventory):"
+    )
+    for cand in result.candidates:
+        if cand.feasible:
+            status = f"feasible   attainment={cand.slo_attainment:.3f}"
+        elif cand.error is not None:
+            status = "unbuildable"
+        elif cand.evaluated:
+            status = f"infeasible attainment={cand.slo_attainment:.3f}"
+        elif cand.pruned:
+            status = "pruned (dominated)"
+        else:
+            status = "not evaluated"
+        print(f"  ${cand.cost_per_hour:6.2f}/hr  {status:<32} {cand.label}")
+
+    if result.best is None:
+        print("\nNo candidate met the target attainment -- widen the search axes,")
+        print("raise the inventory, or relax the SLO.")
+        return
+    best = result.best
+    print(
+        f"\nCheapest feasible plan: {best.label}\n"
+        f"  ${best.cost_per_hour:.2f}/hr at {best.slo_attainment:.1%} attainment "
+        f"(target {result.target_attainment:.0%}), goodput {best.goodput_rps:.2f} req/s"
+    )
+    if args.save:
+        from repro.config import DeploymentSpec
+
+        DeploymentSpec.from_dict(result.best_spec).save(args.save)
+        print(f"  wrote runnable deployment config to {args.save}")
+
+
+def run_layout_plan(args: argparse.Namespace) -> None:
+    """The pre-planner behaviour: one cluster through the Parallelizer."""
+    from repro.core.parallelizer import Parallelizer, WorkloadHint
+    from repro.hardware.cluster import ClusterBuilder
+    from repro.models.spec import get_model_spec
 
     builder = ClusterBuilder()
     for host_spec in args.gpus:
-        name, count = parse_gpu_arg(host_spec)
-        builder.add_host(name, count=count)
+        name, _, count = host_spec.partition(":")
+        builder.add_host(name, count=int(count or "1"))
     cluster = builder.build()
     model = get_model_spec(args.model)
     hint = WorkloadHint(
@@ -68,6 +111,36 @@ def main() -> None:
         f"Attention workers: {len(plan.attention_workers)}; "
         f"estimated dense-computation cost: {plan.cost:.4f} s/iteration"
     )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--config", default=str(DEFAULT_CONFIG),
+        help="planner config with [planner] and [deployment] sections",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="candidate evaluation processes")
+    parser.add_argument("--cache", default=None, help="result-cache directory")
+    parser.add_argument("--save", default=None, help="write the chosen plan here (.json)")
+    parser.add_argument(
+        "--layout", action="store_true",
+        help="instead: run the Parallelizer on --gpus and print the stage layout",
+    )
+    parser.add_argument(
+        "--gpus", nargs="+", default=["a100:4", "rtx3090:2", "rtx3090:2", "p100:4"],
+        help="(--layout) one entry per host, e.g. a100:4 rtx3090:2",
+    )
+    parser.add_argument("--model", default="llama-70b")
+    parser.add_argument("--avg-prompt", type=int, default=512)
+    parser.add_argument("--avg-context", type=int, default=1024)
+    parser.add_argument("--concurrency", type=int, default=64)
+    parser.add_argument("--delta", type=float, default=0.05, help="(--layout) pruning threshold")
+    args = parser.parse_args()
+
+    if args.layout:
+        run_layout_plan(args)
+    else:
+        run_fleet_plan(args)
 
 
 if __name__ == "__main__":

@@ -3,7 +3,9 @@
 
 Times (a) a fixed single-deployment engine workload, (b) a 4-point sweep grid
 executed serially (``jobs=1``) and through the process pool (``jobs=4``), and
-(c) a cache-hit rerun of the same grid, then writes the measurements -- wall
+(c) a cache-hit rerun of the same grid, and (d) the fleet-planner search over
+the checked-in planner demo (wall-clock plus the fraction of candidates the
+greedy pass pruned without simulating), then writes the measurements -- wall
 seconds, events/sec, parallel speedup, cache-hit fraction, and the perf-model
 LRU hit rates -- to ``BENCH_runner.json`` at the repo root.  That file is
 checked in, so the repo's perf trajectory is recorded change over change.
@@ -303,6 +305,49 @@ def bench_sweep(quick: bool, parallel_jobs: int) -> dict:
     }
 
 
+def bench_planner(quick: bool, parallel_jobs: int) -> dict:
+    """Time the fleet-planner search over the checked-in demo study.
+
+    Records search wall-clock and the fraction of candidates the greedy pass
+    proved dominated without simulating.  The gate: re-running the search with
+    a parallel evaluation pool must produce a bit-identical PlanResult.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.planner import FleetPlanner, load_planner
+
+    planner = load_planner(ROOT / "examples" / "configs" / "planner_slo.toml")
+    if quick:
+        planner = replace(
+            planner,
+            deployment=planner.deployment.with_overrides({"workload.num_requests": 24}),
+        )
+
+    t0 = time.perf_counter()
+    serial = FleetPlanner(planner, jobs=1).plan()
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = FleetPlanner(planner, jobs=parallel_jobs).plan()
+    parallel_s = time.perf_counter() - t0
+
+    return {
+        "config": "examples/configs/planner_slo.toml",
+        "candidates": serial.total_points,
+        "evaluated": serial.num_evaluated,
+        "pruned": serial.num_pruned,
+        "filtered": serial.num_filtered,
+        "pruned_fraction": round(serial.num_pruned / serial.total_points, 4)
+        if serial.total_points
+        else None,
+        "search_serial_seconds": round(serial_s, 4),
+        "search_parallel_seconds": round(parallel_s, 4),
+        "plan": serial.best.label if serial.best is not None else None,
+        "plan_cost_per_hour": serial.best.cost_per_hour if serial.best is not None else None,
+        "result_bit_identical": serial.to_dict() == parallel.to_dict(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
@@ -328,6 +373,15 @@ def main(argv=None) -> int:
         f"parallel {sweep['parallel_seconds']}s (speedup {sweep['parallel_speedup']}x), "
         f"cache rerun {sweep['cache_warm_seconds']}s "
         f"({sweep['cache_warm_fraction_of_cold']} of cold)"
+    )
+
+    print(f"== fleet-planner search (jobs=1 vs jobs={args.jobs}) ==")
+    planner = bench_planner(args.quick, args.jobs)
+    print(
+        f"  {planner['candidates']} candidates: evaluated {planner['evaluated']}, "
+        f"pruned {planner['pruned']} ({planner['pruned_fraction']} of grid), "
+        f"search {planner['search_serial_seconds']}s serial / "
+        f"{planner['search_parallel_seconds']}s parallel -> {planner['plan']}"
     )
 
     print("== migration planning (head-wise + replica-level) ==")
@@ -366,6 +420,7 @@ def main(argv=None) -> int:
         "engine": engine,
         "lru_caches": caches,
         "sweep": sweep,
+        "planner": planner,
         "migration": migration,
         "engine_large_trace": large,
     }
@@ -379,6 +434,12 @@ def main(argv=None) -> int:
     if not large["streaming_rows_bit_identical"]:
         print(
             "bench FAILED: streaming-trace engine run diverges from the list-trace run",
+            file=sys.stderr,
+        )
+        return 1
+    if not planner["result_bit_identical"]:
+        print(
+            "bench FAILED: parallel fleet-planner search diverges from the serial run",
             file=sys.stderr,
         )
         return 1

@@ -20,13 +20,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # Every checked-in sample config must still parse and build (no simulation):
 # a config that drifts from the spec schema fails fast, here and in CI.
 # Experiment configs (an [experiment] section bundling a deployment with grid
-# axes) validate through the experiment driver; plain deployment specs
-# through `repro run`.
+# axes) validate through the experiment driver, planner studies (a [planner]
+# section) through `repro plan`, and plain deployment specs through
+# `repro run`.
 echo "== validating checked-in deployment configs (--dry-run) =="
 shopt -s nullglob
 for cfg in examples/configs/*.json examples/configs/*.toml; do
     if grep -Eq '^\[experiment\]|"experiment"[[:space:]]*:' "$cfg" 2>/dev/null; then
         python -m repro experiment "$cfg" --dry-run >/dev/null
+    elif grep -Eq '^\[planner\]|"planner"[[:space:]]*:' "$cfg" 2>/dev/null; then
+        python -m repro plan "$cfg" --dry-run >/dev/null
     else
         python -m repro run "$cfg" --dry-run >/dev/null
     fi
@@ -90,6 +93,14 @@ echo "== parallel sweep smoke test (--jobs 2) =="
 python -m repro sweep examples/configs/multi_replica.json \
     --grid workload.seed=0,1 --set workload.num_requests=8 --jobs 2 >/dev/null
 echo "  2-job pool sweep OK"
+
+# Fleet-planner smoke test: a tiny end-to-end `repro plan` search through the
+# CLI (shrunk workload so it stays CI-sized).  Exercises the greedy prune +
+# evolutionary refinement path against the real simulator.
+echo "== fleet-planner smoke test (repro plan --jobs 2) =="
+python -m repro plan examples/configs/planner_slo.toml \
+    --set workload.num_requests=16 --jobs 2 >/dev/null
+echo "  planner search OK"
 
 # Perf trajectory: refresh BENCH_runner.json with CI-sized measurements.  The
 # timing numbers are recorded, not thresholded (CI boxes are noisy); the

@@ -1,10 +1,15 @@
 """Command-line interface for the Hetis reproduction.
 
-Six subcommands cover the common workflows:
+The subcommands cover the common workflows:
 
 ``plan``
-    Run the Parallelizer on a described cluster and print the resulting
-    Primary/Attention role assignment and stage layout.
+    With a config file: the SLO-aware fleet planner -- search the deployment
+    space described by a ``[planner]`` table over a ``[deployment]`` base for
+    the cheapest configuration meeting the target SLO attainment, with the
+    simulator as the oracle (``--jobs``/``--cache``/``--budget``; ``--save``
+    writes the chosen plan as a runnable deployment config).  Without a
+    config: run the Parallelizer on a described cluster and print the
+    resulting Primary/Attention role assignment and stage layout.
 
 ``serve``
     Simulate serving a workload with one of the systems (hetis, hexgen,
@@ -39,6 +44,7 @@ Six subcommands cover the common workflows:
 
 Examples
 --------
+    python -m repro plan examples/configs/planner_slo.toml --jobs 4 --cache .plan-cache
     python -m repro plan --model llama-70b --gpus a100:4 rtx3090:2 rtx3090:2 p100:4
     python -m repro serve --system hetis --model llama-13b --dataset sharegpt --rate 8 --requests 60
     python -m repro serve --system hetis --rate 8 --requests 60 --slo-ttft 2 --slo-tpot 0.2
@@ -219,13 +225,52 @@ def build_parser() -> argparse.ArgumentParser:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    plan = sub.add_parser("plan", help="run the Parallelizer and print the deployment")
+    plan = sub.add_parser(
+        "plan",
+        help="fleet planner: search a [planner] config for the cheapest "
+             "SLO-meeting deployment (without a config: run the Parallelizer "
+             "on a described cluster)",
+    )
+    plan.add_argument(
+        "config", nargs="?", default=None,
+        help="planner config (.toml/.json) with [planner] and [deployment] "
+             "sections; omit to run the single-deployment Parallelizer printout",
+    )
     plan.add_argument("--model", default="llama-70b")
     plan.add_argument("--gpus", nargs="*", default=None, help="hosts as type:count (default: paper cluster)")
     plan.add_argument("--delta", type=float, default=0.05)
     plan.add_argument("--avg-prompt", type=int, default=512)
     plan.add_argument("--avg-context", type=int, default=1024)
     plan.add_argument("--concurrency", type=int, default=64)
+    plan.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="evaluate candidates over N worker processes (the chosen plan is "
+             "bit-identical for any N)",
+    )
+    plan.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="cache candidate rows in DIR keyed by a content hash of each "
+             "deployment spec (shared with sweep/experiment caches)",
+    )
+    plan.add_argument(
+        "--budget", type=_positive_int, default=None, metavar="N",
+        help="cap candidate simulations at N (overrides planner.budget; "
+             "cached rows count, so the search is cache-independent)",
+    )
+    plan.add_argument(
+        "--dry-run", action="store_true",
+        help="validate the config and list the candidates with their $/hr "
+             "without simulating anything",
+    )
+    plan.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE", dest="overrides",
+        help="override a deployment-base field by dotted path before the "
+             "search (e.g. --set workload.seed=3); repeatable",
+    )
+    plan.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="write the chosen plan as a runnable deployment config (.json)",
+    )
 
     serve = sub.add_parser("serve", help="simulate serving a workload with one system")
     serve.add_argument("--system", default="hetis", choices=["hetis", "hexgen", "splitwise", "static-tp"])
@@ -386,6 +431,103 @@ def cmd_plan(args: argparse.Namespace, out=sys.stdout) -> int:
         workers = ", ".join(d.name for d in instance.attention_workers) or "(none)"
         print(f"  attention workers: {workers}", file=out)
         print(f"  KV capacity: {instance.total_kv_capacity_bytes(model) / 1e9:.0f} GB", file=out)
+    return 0
+
+
+def cmd_fleet_plan(args: argparse.Namespace, out=sys.stdout) -> int:
+    """``repro plan <config>``: search for the cheapest SLO-meeting deployment."""
+    from dataclasses import replace
+
+    from repro.experiments.planner import (
+        FleetPlanner,
+        fleet_cost_per_hour,
+        load_planner,
+    )
+    from repro.experiments.runner import overrides_label
+
+    try:
+        planner = load_planner(args.config)
+        if args.overrides:
+            parsed: Dict[str, Any] = {}
+            for item in args.overrides:
+                key, sep, value = item.partition("=")
+                if not sep or not key.strip():
+                    raise ConfigError(f"--set {item!r} must look like key=value")
+                parsed[key.strip()] = parse_grid_value(value.strip())
+            planner = replace(planner, deployment=planner.deployment.with_overrides(parsed))
+        if args.budget is not None:
+            planner = replace(planner, budget=args.budget)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    suffix = f" -- {planner.description}" if planner.description else ""
+    print(f"planner {planner.name}{suffix}", file=out)
+    print(f"base: {planner.deployment.describe()}", file=out)
+    if planner.inventory is not None:
+        listing = ", ".join(f"{k}:{v}" for k, v in sorted(planner.inventory.items()))
+        print(f"inventory: {listing}", file=out)
+    axes = ", ".join(planner.axes) if planner.search else "no search axes"
+    print(
+        f"{planner.num_points} candidate(s) over {axes}; target attainment "
+        f"{planner.target_attainment:g}, strategies: {', '.join(planner.strategies)}",
+        file=out,
+    )
+    if args.dry_run:
+        for overrides, dspec in planner.expand():
+            print(
+                f"  {overrides_label(overrides)}  (${fleet_cost_per_hour(dspec):.2f}/hr)",
+                file=out,
+            )
+        print("config OK (dry run, nothing simulated)", file=out)
+        return 0
+    result = FleetPlanner(planner, jobs=args.jobs, cache_dir=args.cache).plan()
+    counters = (
+        f"evaluated {result.num_evaluated} of {result.total_points} candidate(s), "
+        f"pruned {result.num_pruned} as dominated"
+    )
+    if result.num_filtered:
+        counters += f", filtered {result.num_filtered} by inventory"
+    if result.budget_exhausted:
+        counters += f" [budget of {result.budget} exhausted]"
+    print(counters, file=out)
+    print(
+        f"{'#':>3} {'$/hr':>8} {'attain':>8} {'goodput':>9} {'status':<11} "
+        f"{'via':<9} candidate",
+        file=out,
+    )
+    for rank, cand in enumerate(result.candidates, 1):
+        att = f"{cand.slo_attainment:.3f}" if cand.slo_attainment is not None else "-"
+        goodput = f"{cand.goodput_rps:.2f}" if cand.goodput_rps is not None else "-"
+        if cand.feasible:
+            status = "feasible"
+        elif cand.error is not None:
+            status = "error"
+        elif cand.evaluated:
+            status = "infeasible"
+        elif cand.pruned:
+            status = "pruned"
+        else:
+            status = "unevaluated"
+        via = cand.source if cand.evaluated else "-"
+        print(
+            f"{rank:>3} {cand.cost_per_hour:>8.2f} {att:>8} {goodput:>9} "
+            f"{status:<11} {via:<9} {cand.label}",
+            file=out,
+        )
+    if result.best is None:
+        print("no feasible plan: no evaluated candidate met the target attainment", file=out)
+        return 1
+    best = result.best
+    print(
+        f"cheapest feasible plan: {best.label} at ${best.cost_per_hour:.2f}/hr "
+        f"(attainment {best.slo_attainment:.3f} >= {result.target_attainment:g})",
+        file=out,
+    )
+    if args.save:
+        try:
+            DeploymentSpec.from_dict(result.best_spec).save(args.save)
+        except ConfigError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(f"wrote chosen deployment to {args.save}", file=out)
     return 0
 
 
@@ -863,6 +1005,10 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     """Entry point used by ``python -m repro`` and by the tests."""
     args = build_parser().parse_args(argv)
     if args.command == "plan":
+        # A config file selects the fleet planner; without one the command
+        # keeps its historical meaning (Parallelizer printout).
+        if args.config is not None:
+            return cmd_fleet_plan(args, out)
         return cmd_plan(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)

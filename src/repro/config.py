@@ -956,6 +956,16 @@ class DeploymentSpec:
             node = data
             trail = []
             for key in keys[:-1]:
+                # Unknown *intermediate* segments fail here, pointed at the
+                # override path -- not later, as a from_dict unknown-key error
+                # that has forgotten which dotted override put the key there.
+                known = _known_keys_for_path(trail)
+                if known is not None and key not in known:
+                    raise ConfigError(
+                        f"override path {dotted!r}: unknown section {key!r} "
+                        f"under {'.'.join(trail) or 'the deployment spec'}; "
+                        f"expected one of: {', '.join(known)}"
+                    )
                 trail.append(key)
                 _check(
                     isinstance(node, dict),

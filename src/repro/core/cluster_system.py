@@ -112,6 +112,21 @@ def replica_cost_per_hour(replica: ServingSystem) -> float:
     return total
 
 
+def system_cost_per_hour(system: ServingSystem) -> float:
+    """Aggregate $/hr of the hardware behind a deployment.
+
+    For a :class:`ClusterServingSystem` this is the *provisioned* fleet price
+    -- every replica, active or not: the planner's objective is what the
+    deployment rents, and an autoscaled-out replica still costs money unless
+    the operator gives it back.  Bare single-replica systems price as their
+    own cluster.
+    """
+    replicas = getattr(system, "replicas", None)
+    if replicas is not None:
+        return sum(replica_cost_per_hour(r) for r in replicas)
+    return replica_cost_per_hour(system)
+
+
 class ReplicaRouter(abc.ABC):
     """Chooses which replica accepts a fresh arrival.
 

@@ -48,7 +48,8 @@ from repro.sim.engine import SimulationResult
 #: of silently serving rows with missing fields.
 #: v2: rows gained truncated/truncation_reason.
 #: v3: rows gained num_dropped_retries.
-CACHE_VERSION = 3
+#: v4: rows gained cost_per_hour (the fleet's $/hr rental price).
+CACHE_VERSION = 4
 
 #: Scalar SummaryStats fields copied into every deployment summary row.
 SUMMARY_FIELDS: Tuple[str, ...] = (
@@ -103,6 +104,7 @@ TABLE_METRICS: Tuple[str, ...] = (
     "throughput_tokens_per_s",
     "slo_attainment",
     "goodput_rps",
+    "cost_per_hour",
     "num_finished",
     "num_rejected",
 )
@@ -138,9 +140,16 @@ TASK_KINDS: Registry[Callable[[Mapping[str, Any]], Dict[str, Any]]] = Registry("
 def _run_deployment(payload: Mapping[str, Any]) -> Dict[str, Any]:
     # Imported lazily so a spawned worker only pays for what it runs.
     from repro.api import build
+    from repro.core.cluster_system import system_cost_per_hour
 
     spec = DeploymentSpec.from_dict(payload)
-    return summary_row(build(spec).run())
+    prepared = build(spec)
+    row = summary_row(prepared.run())
+    # Priced off the *built* fleet, so heterogeneous replica mixes and named
+    # topologies report exactly what the hardware catalog says they rent for
+    # -- the same $/hr objective the fleet planner minimises.
+    row["cost_per_hour"] = system_cost_per_hour(prepared.system)
+    return row
 
 
 @TASK_KINDS.register("table1-device", help="roofline-profile one GPU type for Table 1")

@@ -1,0 +1,496 @@
+"""Tests for the SLO-aware fleet planner.
+
+Three load-bearing guarantees:
+
+* **Optimality** -- on any grid with a feasible candidate, the planner's
+  choice equals the exhaustive-enumeration optimum (cheapest feasible,
+  attainment then index as tie-breaks), property-tested on seeded random
+  grids with a synthetic oracle and verified once against the real simulator.
+* **Pruning soundness** -- a pruned candidate is never evaluated and always
+  costs strictly more than the chosen plan, so pruning can never hide a
+  cheaper feasible deployment; and pruning must actually save evaluations.
+* **Determinism** -- a fixed spec (seed included) yields a bit-identical
+  :class:`PlanResult` across repeat runs and across ``jobs=1`` vs ``jobs=4``.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ConfigError, DeploymentSpec
+from repro.experiments.planner import (
+    PLANNER_STRATEGIES,
+    FleetPlanner,
+    PlanCandidate,
+    PlannerSpec,
+    PlanResult,
+    SimulatorOracle,
+    fits_inventory,
+    fleet_cost_per_hour,
+    fleet_device_counts,
+    load_planner,
+    run_plan,
+)
+from repro.utils.rng import make_rng
+
+
+BASE = DeploymentSpec.from_dict(
+    {
+        "model": "llama-13b",
+        "system": {"name": "static-tp"},
+        "cluster": {"kind": "a100:1"},
+        "slo": {"ttft_s": 2.0, "tpot_s": 0.5},
+        "workload": {"dataset": "sharegpt", "request_rate": 4.0, "num_requests": 5, "seed": 0},
+    }
+)
+
+
+def planner_spec(**kwargs):
+    merged = {
+        "name": "test-plan",
+        "deployment": BASE,
+        "search": {"cluster.kind": ["t4:1", "rtx3090:1", "a100:1"]},
+        "target_attainment": 0.9,
+    }
+    merged.update(kwargs)
+    return PlannerSpec.from_dict(merged)
+
+
+def synthetic_oracle(spec, attainments):
+    """Score candidates from a precomputed table instead of simulating."""
+    def key_of(overrides):
+        return json.dumps(dict(overrides), sort_keys=True)
+
+    table = {
+        key_of(overrides): att
+        for (overrides, _), att in zip(spec.expand(), attainments)
+    }
+
+    def oracle(points):
+        return [
+            {
+                "slo_attainment": float(table[key_of(overrides)]),
+                "goodput_rps": 1.0,
+                "truncated": False,
+            }
+            for overrides, _ in points
+        ]
+
+    return oracle
+
+
+def exhaustive_best(spec, attainments):
+    """The brute-force optimum: cheapest feasible, then attainment, then index."""
+    best = None
+    for idx, (overrides, dspec) in enumerate(spec.expand()):
+        att = attainments[idx]
+        if att < spec.target_attainment:
+            continue
+        key = (fleet_cost_per_hour(dspec), -att, idx)
+        if best is None or key < best[0]:
+            best = (key, dict(overrides))
+    return best
+
+
+class TestFleetPricing:
+    def test_cost_matches_catalog(self):
+        assert fleet_cost_per_hour(BASE) == pytest.approx(3.00)
+        two = BASE.with_overrides({"cluster.replicas": 2})
+        assert fleet_cost_per_hour(two) == pytest.approx(6.00)
+        hetero = BASE.with_overrides({"cluster.replica_kinds": ["a100:1", "rtx3090:2"]})
+        assert fleet_cost_per_hour(hetero) == pytest.approx(3.00 + 2 * 0.85)
+
+    def test_device_counts_sum_over_replicas(self):
+        hetero = BASE.with_overrides({"cluster.replica_kinds": ["a100:1", "rtx3090:2"]})
+        assert fleet_device_counts(hetero) == {"a100": 1, "rtx3090": 2}
+
+    def test_fits_inventory_treats_missing_types_as_unavailable(self):
+        assert fits_inventory(BASE, {"a100": 1})
+        assert not fits_inventory(BASE, {"a100": 0})
+        assert not fits_inventory(BASE, {"rtx3090": 8})  # no a100 listed
+
+
+class TestPlannerSpec:
+    def test_round_trip(self):
+        spec = planner_spec(
+            seed=7,
+            budget=5,
+            inventory={"a100": 2, "rtx3090": 4},
+            description="round trip",
+        )
+        again = PlannerSpec.from_dict(spec.to_dict())
+        assert again.to_dict() == spec.to_dict()
+        assert again == spec
+
+    def test_axes_preserve_order_and_values(self):
+        spec = planner_spec(
+            search={"cluster.kind": ["a100:1"], "workload.seed": [0, 1]}
+        )
+        assert spec.axes == {"cluster.kind": ["a100:1"], "workload.seed": [0, 1]}
+        assert spec.num_points == 2
+        assert len(spec.expand()) == 2
+
+    def test_rejects_bad_target(self):
+        for target in (0.0, 1.5, "high", True):
+            with pytest.raises(ConfigError, match="target_attainment"):
+                planner_spec(target_attainment=target)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigError, match="planner.strategies"):
+            planner_spec(strategies=["simulated-annealing"])
+
+    def test_rejects_bad_budget_and_population(self):
+        with pytest.raises(ConfigError, match="budget"):
+            planner_spec(budget=0)
+        with pytest.raises(ConfigError, match="population"):
+            planner_spec(population=0)
+
+    def test_rejects_unknown_inventory_gpu(self):
+        with pytest.raises(ConfigError, match="unknown GPU type"):
+            planner_spec(inventory={"h100": 8})
+        with pytest.raises(ConfigError, match="inventory"):
+            planner_spec(inventory={"a100": -1})
+
+    def test_rejects_unknown_keys_and_bad_axes(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            PlannerSpec.from_dict({"name": "x", "deployment": BASE, "bogus": 1})
+        with pytest.raises(ConfigError, match="has no values"):
+            planner_spec(search={"workload.seed": []})
+        # A bad dotted path fails at load time with the pointed override error.
+        with pytest.raises(ConfigError, match="unknown section 'clusterx'"):
+            planner_spec(search={"clusterx.replicas": [1, 2]})
+
+    def test_from_config_shape(self, tmp_path):
+        path = tmp_path / "plan.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    "[planner]",
+                    'target_attainment = 0.5',
+                    "[planner.search]",
+                    '"workload.seed" = [0, 1]',
+                    "[deployment]",
+                    'model = "llama-13b"',
+                ]
+            )
+        )
+        spec = load_planner(path)
+        assert spec.name == "plan"  # file stem default
+        assert spec.num_points == 2
+
+    def test_from_config_rejects_misplaced_deployment(self):
+        with pytest.raises(ConfigError, match="top-level \\[deployment\\]"):
+            PlannerSpec.from_config(
+                {"planner": {"deployment": {}}, "deployment": {"model": "llama-13b"}}
+            )
+        with pytest.raises(ConfigError, match="unknown top-level"):
+            PlannerSpec.from_config({"planner": {}, "deployment": {}, "extra": 1})
+
+
+class TestGreedyPruning:
+    def test_finds_exhaustive_optimum_and_prunes(self):
+        spec = planner_spec(
+            search={"cluster.kind": ["t4:1", "rtx3090:1", "a100:1"]},
+            target_attainment=0.9,
+        )
+        # t4 ($0.35) misses, rtx3090 ($0.85) meets, a100 ($3.00) would meet
+        # but must be pruned, never evaluated.
+        oracle = synthetic_oracle(spec, [0.5, 0.95, 1.0])
+        result = FleetPlanner(spec, oracle=oracle).plan()
+        assert result.best is not None
+        assert result.best.overrides == {"cluster.kind": "rtx3090:1"}
+        assert result.best.cost_per_hour == pytest.approx(0.85)
+        assert result.num_evaluated == 2 < result.total_points
+        assert result.num_pruned == 1
+        (pruned,) = [c for c in result.candidates if c.pruned]
+        assert not pruned.evaluated
+        assert pruned.cost_per_hour > result.best.cost_per_hour
+
+    def test_equal_cost_tier_is_evaluated_whole(self):
+        """Tier granularity, not --jobs batches: both same-cost candidates run
+        even when the first already meets the target."""
+        spec = planner_spec(
+            search={"workload.seed": [0, 1]},  # identical fleets, same $/hr
+            target_attainment=0.5,
+        )
+        oracle = synthetic_oracle(spec, [0.9, 0.99])
+        result = FleetPlanner(spec, oracle=oracle).plan()
+        assert result.num_evaluated == 2
+        assert result.num_pruned == 0
+        # Higher attainment wins the equal-cost tie.
+        assert result.best.overrides == {"workload.seed": 1}
+
+    def test_infeasible_grid_evaluates_everything(self):
+        spec = planner_spec(target_attainment=0.99)
+        oracle = synthetic_oracle(spec, [0.1, 0.2, 0.3])
+        result = FleetPlanner(spec, oracle=oracle).plan()
+        assert result.best is None
+        assert result.best_spec is None
+        assert not result.feasible
+        assert result.num_evaluated == result.total_points
+        assert result.num_pruned == 0
+
+    def test_pruning_soundness_property(self):
+        """Seeded random grids: the planner always returns the exhaustive
+        optimum, and pruned candidates are never cheaper than it."""
+        kinds = ["t4:1", "p100:1", "rtx3090:1", "a100:1"]
+        for trial in range(12):
+            rng = make_rng(trial)
+            n_kinds = int(rng.integers(2, len(kinds) + 1))
+            replicas = [1, 2, 3][: int(rng.integers(1, 4))]
+            seeds = [0, 1][: int(rng.integers(1, 3))]
+            spec = planner_spec(
+                search={
+                    "cluster.kind": kinds[:n_kinds],
+                    "cluster.replicas": replicas,
+                    "workload.seed": seeds,
+                },
+                target_attainment=float(rng.uniform(0.3, 0.95)),
+                seed=trial,
+            )
+            attainments = [float(a) for a in rng.random(spec.num_points)]
+            result = FleetPlanner(
+                spec, oracle=synthetic_oracle(spec, attainments)
+            ).plan()
+            best = exhaustive_best(spec, attainments)
+            if best is None:
+                assert result.best is None, f"trial {trial}"
+                assert result.num_evaluated == result.total_points
+                continue
+            (key, overrides) = best
+            assert result.best is not None, f"trial {trial}"
+            assert result.best.overrides == overrides, f"trial {trial}"
+            assert result.best.cost_per_hour == pytest.approx(key[0]), f"trial {trial}"
+            for cand in result.candidates:
+                if cand.pruned:
+                    assert not cand.evaluated
+                    assert cand.cost_per_hour > result.best.cost_per_hour
+
+
+class TestDeterminism:
+    def test_same_spec_same_result_across_runs(self):
+        spec = planner_spec(
+            search={
+                "cluster.kind": ["t4:1", "rtx3090:1", "a100:1"],
+                "workload.seed": [0, 1],
+            },
+            target_attainment=0.9,
+            seed=11,
+            budget=3,
+            strategies=["greedy", "evolutionary"],
+        )
+        rng = make_rng(99)
+        attainments = [float(a) for a in rng.random(spec.num_points)]
+        first = FleetPlanner(spec, oracle=synthetic_oracle(spec, attainments)).plan()
+        second = FleetPlanner(spec, oracle=synthetic_oracle(spec, attainments)).plan()
+        assert first == second
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_jobs_do_not_change_the_plan(self):
+        """Real simulator: the chosen plan and every candidate row are
+        bit-identical between serial and 4-way-parallel evaluation."""
+        spec = planner_spec(
+            search={"cluster.kind": ["rtx3090:2", "a100:1"]},
+            target_attainment=0.6,
+        )
+        serial = FleetPlanner(spec, jobs=1).plan()
+        parallel = FleetPlanner(spec, jobs=4).plan()
+        assert serial.to_dict() == parallel.to_dict()
+        assert serial.best is not None
+
+    def test_evolutionary_bit_identical_under_fixed_seed(self):
+        spec = planner_spec(
+            search={
+                "cluster.kind": ["t4:1", "rtx3090:1", "a100:1"],
+                "cluster.replicas": [1, 2],
+            },
+            target_attainment=2.0e-2,
+            strategies=["evolutionary"],
+            generations=3,
+            population=4,
+            seed=5,
+        )
+        rng = make_rng(7)
+        attainments = [float(a) for a in rng.random(spec.num_points)]
+        runs = [
+            FleetPlanner(spec, oracle=synthetic_oracle(spec, attainments)).plan()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert runs[0].num_evaluated > 0
+        evaluated = [c for c in runs[0].candidates if c.evaluated]
+        assert all(c.source == "evolution" for c in evaluated)
+
+    def test_different_seed_may_change_evolution_but_stays_valid(self):
+        spec_a = planner_spec(
+            search={"cluster.kind": ["t4:1", "rtx3090:1", "a100:1"]},
+            strategies=["evolutionary"],
+            seed=1,
+            target_attainment=0.5,
+        )
+        spec_b = PlannerSpec.from_dict({**spec_a.to_dict(), "seed": 2})
+        attainments = [0.6, 0.7, 0.8]
+        res_a = FleetPlanner(spec_a, oracle=synthetic_oracle(spec_a, attainments)).plan()
+        res_b = FleetPlanner(spec_b, oracle=synthetic_oracle(spec_b, attainments)).plan()
+        # Both searches stay within the declared grid whatever the seed drew.
+        for res in (res_a, res_b):
+            for cand in res.candidates:
+                if cand.overrides:
+                    assert cand.overrides["cluster.kind"] in spec_a.axes["cluster.kind"]
+
+
+class TestBudgetAndInventory:
+    def test_budget_truncates_the_search_deterministically(self):
+        spec = planner_spec(
+            search={"cluster.kind": ["t4:1", "rtx3090:1", "a100:1"]},
+            target_attainment=0.9,
+            budget=1,
+        )
+        oracle = synthetic_oracle(spec, [0.1, 0.95, 1.0])
+        result = FleetPlanner(spec, oracle=oracle).plan()
+        assert result.num_evaluated == 1  # only the cheapest tier ran
+        assert result.budget_exhausted
+        assert result.best is None
+
+    def test_budget_override_via_run_plan(self, tmp_path):
+        path = tmp_path / "plan.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    "[planner]",
+                    "target_attainment = 0.5",
+                    "[planner.search]",
+                    '"workload.seed" = [0, 1]',
+                    "[deployment]",
+                    'model = "llama-13b"',
+                    '[deployment.system]',
+                    'name = "static-tp"',
+                    "[deployment.cluster]",
+                    'kind = "a100:1"',
+                    "[deployment.slo]",
+                    "ttft_s = 2.0",
+                    "tpot_s = 0.5",
+                    "[deployment.workload]",
+                    "num_requests = 5",
+                    "request_rate = 4.0",
+                ]
+            )
+        )
+        result = run_plan(path, budget=1)
+        assert result.budget == 1
+        assert result.num_evaluated == 1
+
+    def test_inventory_filters_before_any_evaluation(self):
+        spec = planner_spec(
+            search={"cluster.kind": ["t4:1", "rtx3090:1", "a100:1"]},
+            target_attainment=0.5,
+            inventory={"t4": 1, "rtx3090": 0, "a100": 1},
+        )
+        seen = []
+
+        def oracle(points):
+            seen.extend(dict(ov) for ov, _ in points)
+            return [
+                {"slo_attainment": 1.0, "goodput_rps": 1.0, "truncated": False}
+                for _ in points
+            ]
+
+        result = FleetPlanner(spec, oracle=oracle).plan()
+        assert result.num_filtered == 1
+        assert {"cluster.kind": "rtx3090:1"} not in seen
+        assert all(c.overrides != {"cluster.kind": "rtx3090:1"} for c in result.candidates)
+        assert result.best.overrides == {"cluster.kind": "t4:1"}
+
+    def test_inventory_can_filter_everything(self):
+        spec = planner_spec(inventory={"t4": 0, "rtx3090": 0, "a100": 0})
+        result = FleetPlanner(spec, oracle=synthetic_oracle(spec, [1.0, 1.0, 1.0])).plan()
+        assert result.best is None
+        assert result.num_filtered == result.total_points
+        assert result.candidates == ()
+
+
+class TestRealSimulator:
+    def test_matches_exhaustive_enumeration(self):
+        """Acceptance: the planner's pick equals brute-force over the grid."""
+        spec = planner_spec(
+            search={"cluster.kind": ["rtx3090:2", "a100:1"]},
+            target_attainment=0.6,
+        )
+        result = FleetPlanner(spec, jobs=1).plan()
+
+        oracle = SimulatorOracle(jobs=1)
+        rows = oracle(spec.expand())
+        best = None
+        for idx, ((overrides, dspec), row) in enumerate(zip(spec.expand(), rows)):
+            att = row.get("slo_attainment")
+            if att is None or att < spec.target_attainment or row.get("truncated"):
+                continue
+            key = (fleet_cost_per_hour(dspec), -att, idx)
+            if best is None or key < best[0]:
+                best = (key, dict(overrides))
+        assert best is not None
+        assert result.best is not None
+        assert result.best.overrides == best[1]
+        assert result.best.cost_per_hour == pytest.approx(best[0][0])
+
+    def test_unbuildable_candidate_is_infeasible_not_fatal(self):
+        """A fleet too small for the model is an answer, not a crash."""
+        spec = planner_spec(
+            search={"cluster.kind": ["t4:1", "a100:1"]},
+            target_attainment=0.6,
+        )
+        result = FleetPlanner(spec, jobs=1).plan()
+        t4 = [c for c in result.candidates if c.overrides == {"cluster.kind": "t4:1"}]
+        assert len(t4) == 1
+        assert t4[0].evaluated
+        assert t4[0].error is not None
+        assert t4[0].feasible is False
+        assert result.best.overrides == {"cluster.kind": "a100:1"}
+
+    def test_cache_changes_wall_clock_not_the_plan(self, tmp_path):
+        spec = planner_spec(
+            search={"cluster.kind": ["rtx3090:2", "a100:1"]},
+            target_attainment=0.6,
+        )
+        cold = FleetPlanner(spec, jobs=1, cache_dir=str(tmp_path)).plan()
+        warm = FleetPlanner(spec, jobs=1, cache_dir=str(tmp_path)).plan()
+        assert cold.to_dict() == warm.to_dict()
+        assert cold.num_evaluated == warm.num_evaluated  # cache hits still count
+
+
+class TestResultShapes:
+    def test_plan_result_round_trip(self):
+        spec = planner_spec(target_attainment=0.5)
+        result = FleetPlanner(
+            spec, oracle=synthetic_oracle(spec, [0.4, 0.9, 1.0])
+        ).plan()
+        again = PlanResult.from_dict(result.to_dict())
+        assert again.to_dict() == result.to_dict()
+        assert again == result
+
+    def test_best_spec_is_runnable(self):
+        spec = planner_spec(target_attainment=0.5)
+        result = FleetPlanner(
+            spec, oracle=synthetic_oracle(spec, [0.9, 0.1, 0.1])
+        ).plan()
+        rebuilt = DeploymentSpec.from_dict(result.best_spec)
+        assert rebuilt.cluster.kind == "t4:1"
+        assert rebuilt == spec.deployment.with_overrides(result.best.overrides)
+
+    def test_candidate_round_trip(self):
+        cand = PlanCandidate(
+            overrides={"cluster.kind": "a100:1"},
+            cost_per_hour=3.0,
+            slo_attainment=0.97,
+            goodput_rps=2.5,
+            feasible=True,
+            evaluated=True,
+            source="greedy",
+        )
+        assert PlanCandidate.from_dict(cand.to_dict()) == cand
+        assert cand.label == "cluster.kind=a100:1"
+
+    def test_strategies_are_registered_plugins(self):
+        assert set(PLANNER_STRATEGIES.available()) >= {"greedy", "evolutionary"}

@@ -77,10 +77,22 @@ class TestDeterminism:
     def test_serial_matches_direct_build_run(self):
         """The jobs=1 fallback is the same simulation as api.build(spec).run()."""
         from repro.api import build
+        from repro.core.cluster_system import system_cost_per_hour
         from repro.experiments.runner import summary_row
 
         (result,) = SweepRunner(jobs=1).run([({}, BASE)])
-        assert result.row == summary_row(build(BASE).run())
+        prepared = build(BASE)
+        expected = summary_row(prepared.run())
+        expected["cost_per_hour"] = system_cost_per_hour(prepared.system)
+        assert result.row == expected
+
+    def test_rows_carry_the_catalog_fleet_price(self):
+        """cost_per_hour is the hardware catalog's $/hr for the built fleet."""
+        (result,) = SweepRunner(jobs=1).run([({}, BASE)])
+        assert result.row["cost_per_hour"] == pytest.approx(3.00)  # 1x a100
+        two = BASE.with_overrides({"cluster.replicas": 2})
+        (result,) = SweepRunner(jobs=1).run([({}, two)])
+        assert result.row["cost_per_hour"] == pytest.approx(6.00)
 
 
 class TestCache:

@@ -457,3 +457,110 @@ def test_sweep_rows_flag_truncation(tmp_path):
     header, row = out.read_text().splitlines()[:2]
     assert header.split(",")[-1] == "truncated"
     assert row.split(",")[-1] == "True"
+
+
+# --- repro plan <config>: the SLO-aware fleet planner --------------------
+
+PLANNER_TOML = "\n".join(
+    [
+        "[planner]",
+        'name = "cli-plan"',
+        "target_attainment = 0.6",
+        "[planner.search]",
+        '"cluster.kind" = ["rtx3090:2", "a100:1"]',
+        "[deployment]",
+        'model = "llama-13b"',
+        "[deployment.system]",
+        'name = "static-tp"',
+        "[deployment.slo]",
+        "ttft_s = 2.0",
+        "tpot_s = 0.5",
+        "[deployment.workload]",
+        'dataset = "sharegpt"',
+        "num_requests = 5",
+        "request_rate = 4.0",
+        "seed = 0",
+    ]
+)
+
+
+def write_planner_config(tmp_path, text=PLANNER_TOML, name="plan.toml"):
+    path = tmp_path / name
+    path.write_text(text + "\n")
+    return str(path)
+
+
+def test_plan_without_config_keeps_layout_behaviour():
+    code, text = run_cli(["plan", "--model", "llama-13b", "--gpus", "a100:2"])
+    assert code == 0
+    assert "attention workers" in text
+
+
+def test_fleet_plan_dry_run_lists_costed_candidates(tmp_path):
+    code, text = run_cli(["plan", write_planner_config(tmp_path), "--dry-run"])
+    assert code == 0
+    assert "2 candidate(s) over cluster.kind" in text
+    assert "cluster.kind=rtx3090:2  ($1.70/hr)" in text
+    assert "cluster.kind=a100:1  ($3.00/hr)" in text
+    assert "config OK (dry run, nothing simulated)" in text
+
+
+def test_fleet_plan_end_to_end_picks_cheapest_feasible(tmp_path):
+    code, text = run_cli(["plan", write_planner_config(tmp_path)])
+    assert code == 0
+    assert "cheapest feasible plan: cluster.kind=rtx3090:2 at $1.70/hr" in text
+    assert "feasible" in text
+
+
+def test_fleet_plan_save_round_trips_to_runnable_config(tmp_path):
+    from repro.config import DeploymentSpec
+
+    saved = tmp_path / "chosen.json"
+    code, text = run_cli(
+        ["plan", write_planner_config(tmp_path), "--save", str(saved)]
+    )
+    assert code == 0
+    assert str(saved) in text
+    spec = DeploymentSpec.load(str(saved))
+    assert spec.cluster.kind == "rtx3090:2"
+    # The saved plan is directly runnable.
+    code, text = run_cli(["run", str(saved), "--dry-run"])
+    assert code == 0
+
+
+def test_fleet_plan_jobs_output_identical_to_serial(tmp_path):
+    config = write_planner_config(tmp_path)
+    _, serial = run_cli(["plan", config, "--jobs", "1"])
+    _, parallel = run_cli(["plan", config, "--jobs", "4"])
+    assert serial == parallel
+
+
+def test_fleet_plan_set_overrides_the_base_deployment(tmp_path):
+    code, text = run_cli(
+        ["plan", write_planner_config(tmp_path), "--dry-run",
+         "--set", "cluster.replicas=2"]
+    )
+    assert code == 0
+    assert "($3.40/hr)" in text  # 2 x rtx3090:2 at $0.85 each
+
+
+def test_fleet_plan_no_feasible_plan_exits_nonzero(tmp_path):
+    config = PLANNER_TOML.replace("target_attainment = 0.6", "target_attainment = 1.0")
+    config = config.replace("request_rate = 4.0", "request_rate = 200.0")
+    config = config.replace("ttft_s = 2.0", "ttft_s = 0.001")
+    code, text = run_cli(["plan", write_planner_config(tmp_path, config)])
+    assert code == 1
+    assert "no feasible plan" in text
+
+
+def test_fleet_plan_rejects_bad_config_cleanly(tmp_path):
+    bad = PLANNER_TOML.replace('"cluster.kind"', '"clusterx.kind"')
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli(["plan", write_planner_config(tmp_path, bad)])
+    assert "unknown section 'clusterx'" in str(excinfo.value)
+
+
+def test_fleet_plan_rejects_bad_set_flag(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli(["plan", write_planner_config(tmp_path), "--set", "nonsense"])
+    assert "must look like key=value" in str(excinfo.value)

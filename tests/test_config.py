@@ -199,6 +199,20 @@ class TestOverrides:
         with pytest.raises(ConfigError, match="unknown router"):
             DeploymentSpec().with_overrides({"router.name": "teleport"})
 
+    def test_override_unknown_intermediate_segment_pointed_error(self):
+        # A typo in a non-leaf segment must fail at parse time, naming the
+        # bad segment and the full override path -- not explode later inside
+        # dataclasses.replace with an unrelated TypeError.
+        with pytest.raises(
+            ConfigError, match=r"override path 'clusterx\.replicas'.*unknown section 'clusterx'"
+        ):
+            DeploymentSpec().with_overrides({"clusterx.replicas": 2})
+        with pytest.raises(ConfigError, match=r"unknown section 'bogus'"):
+            DeploymentSpec().with_overrides({"elasticity.bogus.x": 1})
+        # Free-form option maps still accept arbitrary nesting below them.
+        out = DeploymentSpec().with_overrides({"system.options.limits.max_batch": 4})
+        assert out.system.options["limits"]["max_batch"] == 4
+
     def test_options_accept_free_form_keys(self):
         out = DeploymentSpec().with_overrides(
             {"elasticity.autoscaler": "target-kv",
