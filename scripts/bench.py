@@ -2,9 +2,10 @@
 """Perf-trajectory benchmark for the engine and the parallel experiment runner.
 
 Times (a) a fixed single-deployment engine workload, (b) a 4-point sweep grid
-executed serially (``jobs=1``) and through the process pool (``jobs=4``), and
-(c) a cache-hit rerun of the same grid, and (d) the fleet-planner search over
-the checked-in planner demo (wall-clock plus the fraction of candidates the
+executed serially (``jobs=1``) and through the process pool (``jobs=4``),
+(c) a cache-hit rerun of the same grid plus the clean-path cost of the
+fault-tolerance layer (retries armed, journal fsync'd per point, nothing
+failing), and (d) the fleet-planner search over the checked-in planner demo (wall-clock plus the fraction of candidates the
 greedy pass pruned without simulating), then writes the measurements -- wall
 seconds, events/sec, parallel speedup, cache-hit fraction, and the perf-model
 LRU hit rates -- to ``BENCH_runner.json`` at the repo root.  That file is
@@ -287,6 +288,22 @@ def bench_sweep(quick: bool, parallel_jobs: int) -> dict:
     if not all(r.cached for r in warm_results):
         raise SystemExit("bench: cache-hit rerun unexpectedly re-simulated points")
 
+    # Clean-path cost of the fault-tolerance layer: retries armed and a journal
+    # line fsync'd per point, but nothing fails.  Timing is recorded (never
+    # thresholded); the bit-identity of the rows is the gate.
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-journal-") as journal_dir:
+        ft_runner = SweepRunner(
+            jobs=1,
+            max_retries=2,
+            backoff_base=0.5,
+            journal=os.path.join(journal_dir, "run.journal"),
+        )
+        t0 = time.perf_counter()
+        ft_results = ft_runner.run(combos)
+        ft_s = time.perf_counter() - t0
+    if _rows(ft_results) != serial_rows:
+        raise SystemExit("bench: journaled fault-tolerant run diverged from serial rows")
+
     return {
         "workload": desc,
         "points": len(combos),
@@ -302,6 +319,11 @@ def bench_sweep(quick: bool, parallel_jobs: int) -> dict:
         "rows_bit_identical": parallel_rows == serial_rows,
         "cache_rows_bit_identical": _rows(cold_results) == serial_rows
         and _rows(warm_results) == serial_rows,
+        "fault_tolerant_serial_seconds": round(ft_s, 4),
+        "fault_tolerance_overhead_fraction": round(ft_s / serial_s - 1.0, 4)
+        if serial_s > 0
+        else None,
+        "fault_tolerant_rows_bit_identical": _rows(ft_results) == serial_rows,
     }
 
 
@@ -373,6 +395,11 @@ def main(argv=None) -> int:
         f"parallel {sweep['parallel_seconds']}s (speedup {sweep['parallel_speedup']}x), "
         f"cache rerun {sweep['cache_warm_seconds']}s "
         f"({sweep['cache_warm_fraction_of_cold']} of cold)"
+    )
+    print(
+        f"  fault-tolerance clean path (retries + journal): "
+        f"{sweep['fault_tolerant_serial_seconds']}s "
+        f"(overhead {sweep['fault_tolerance_overhead_fraction']:+.2%} vs serial)"
     )
 
     print(f"== fleet-planner search (jobs=1 vs jobs={args.jobs}) ==")

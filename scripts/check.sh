@@ -94,6 +94,15 @@ python -m repro sweep examples/configs/multi_replica.json \
     --grid workload.seed=0,1 --set workload.num_requests=8 --jobs 2 >/dev/null
 echo "  2-job pool sweep OK"
 
+# Fault-injection smoke test: a 2-job pool sweep where one point crashes its
+# worker and one sleeps past the deadline, run keep-going with retries and a
+# journal.  Must exit 0 with both healthy points intact and an honest
+# degradation report -- environment-level proof the fault-tolerance layer
+# survives a real broken pool, not just the mocked unit paths.
+echo "== fault-injection smoke test (crash + timeout under keep-going) =="
+python scripts/fault_smoke.py
+echo "  degraded sweep smoke OK"
+
 # Fleet-planner smoke test: a tiny end-to-end `repro plan` search through the
 # CLI (shrunk workload so it stays CI-sized).  Exercises the greedy prune +
 # evolutionary refinement path against the real simulator.

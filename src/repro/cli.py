@@ -37,6 +37,21 @@ The subcommands cover the common workflows:
     deployment with its grid axes (see ``examples/configs/fig14_grid.toml``),
     executed through the same parallel, cached runner as ``sweep``.
 
+``figures``
+    Regenerate every checked-in study config -- experiment grids, planner
+    searches, plain deployments -- through the journaled, fault-tolerant
+    runner in one command.  With ``--resume JOURNAL`` a killed run picks up
+    where it left off; a crashing or hanging point degrades to a labelled
+    error row, and the command ends with an honest degradation report
+    (n ok / n errored / n timed-out / n retried), exiting 1 only when the
+    success fraction falls below ``--min-success``.
+
+The grid-running subcommands (``sweep``, ``experiment``, ``plan``,
+``figures``) share the fault-tolerance flags ``--timeout`` (wall-clock bound
+per point), ``--retries``/``--backoff`` (deterministic retry with exponential
+backoff), and ``--resume`` (append-only run journal); the same knobs are
+accepted as a top-level ``[execution]`` table in the config files.
+
 ``lint``
     Run the determinism / spec-invariant static-analysis rules
     (:mod:`repro.analysis`) over source paths and exit non-zero on findings
@@ -57,6 +72,10 @@ Examples
     python -m repro sweep deployment.json --grid workload.request_rate=2,4,8 \
         --grid router.name=round-robin,least-kv --out sweep.csv --jobs 4 --cache .sweep-cache
     python -m repro experiment examples/configs/fig14_grid.toml --jobs 4
+    python -m repro sweep deployment.json --grid workload.seed=0,1 --jobs 2 \
+        --keep-going --timeout 120 --retries 2 --resume sweep.journal
+    python -m repro figures --jobs 4 --cache .fig-cache --resume figures.journal \
+        --set workload.num_requests=40 --out-dir figures/
     python -m repro lint src/ --format json
 """
 
@@ -82,9 +101,12 @@ from repro.api import (
 from repro.config import (
     ConfigError,
     DeploymentSpec,
+    ExecutionSpec,
     FailureSpec,
     MetricsSpec,
     expand_grid,
+    extract_execution,
+    load_config_mapping,
     parse_grid_axis,
     parse_grid_value,
 )
@@ -271,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None, metavar="PATH",
         help="write the chosen plan as a runnable deployment config (.json)",
     )
+    _add_execution_args(plan)
 
     serve = sub.add_parser("serve", help="simulate serving a workload with one system")
     serve.add_argument("--system", default="hetis", choices=["hetis", "hexgen", "splitwise", "static-tp"])
@@ -335,6 +358,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_args(exp_p)
 
+    figures = sub.add_parser(
+        "figures",
+        help="regenerate every checked-in study config through the journaled, "
+             "fault-tolerant runner (one resumable command)",
+    )
+    figures.add_argument(
+        "configs", nargs="*", default=None, metavar="CONFIG",
+        help="config files to regenerate (default: every .toml/.json under "
+             "--configs-dir)",
+    )
+    figures.add_argument(
+        "--configs-dir", default="examples/configs", metavar="DIR",
+        help="directory scanned for study configs when none are given "
+             "explicitly (default: examples/configs)",
+    )
+    figures.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="run points over N worker processes (results stay bit-identical)",
+    )
+    figures.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="shared result cache keyed by a content hash of each point",
+    )
+    figures.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE", dest="overrides",
+        help="override every config's deployment base by dotted path "
+             "(e.g. --set workload.num_requests=40 for a scaled-down smoke "
+             "regeneration); repeatable",
+    )
+    figures.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write one artifact per config there (<name>.csv tables, "
+             "<name>.plan.json plans)",
+    )
+    figures.add_argument(
+        "--min-success", type=float, default=1.0, metavar="FRACTION",
+        help="exit 1 when fewer than this fraction of points regenerate "
+             "cleanly (default 1.0: any degradation fails the command)",
+    )
+    _add_execution_args(figures)
+
     lint_p = sub.add_parser(
         "lint",
         help="static analysis: determinism & spec-invariant rules over source paths",
@@ -394,6 +458,76 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--format", default=None, choices=["csv", "json"],
         help="format for --out (default: inferred from the extension)",
     )
+    _add_execution_args(parser)
+
+
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by every grid-running subcommand.
+
+    Each flag overrides the matching field of the config's optional top-level
+    ``[execution]`` table (see :class:`repro.config.ExecutionSpec`).
+    """
+    fault = parser.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock bound per point: a point exceeding it is killed and "
+             "booked as a timeout row instead of hanging the run "
+             "(default: no bound)",
+    )
+    fault.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-submit a crashed or timed-out point up to N times with "
+             "deterministic exponential backoff (default 0: failures are final)",
+    )
+    fault.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="base of the exponential retry backoff: the k-th retry of a "
+             "point waits backoff * 2**(k-1) seconds (default 0.5)",
+    )
+    fault.add_argument(
+        "--resume", default=None, metavar="JOURNAL", dest="resume",
+        help="append-only JSONL run journal: every finished point is recorded "
+             "there as it completes, and re-running with the same journal "
+             "skips completed points (safe to pass on the first run)",
+    )
+
+
+def _resolve_execution(
+    args: argparse.Namespace, base: Optional[ExecutionSpec]
+) -> Optional[ExecutionSpec]:
+    """Merge the CLI fault-tolerance flags over the config's ``[execution]``.
+
+    Flags win field-by-field; with no flags set the config block (or ``None``)
+    passes through untouched.
+    """
+    from dataclasses import replace
+
+    updates: Dict[str, Any] = {}
+    if getattr(args, "timeout", None) is not None:
+        updates["task_timeout"] = args.timeout
+    if getattr(args, "retries", None) is not None:
+        updates["max_retries"] = args.retries
+    if getattr(args, "backoff", None) is not None:
+        updates["backoff_base"] = args.backoff
+    if getattr(args, "resume", None) is not None:
+        updates["journal"] = args.resume
+    if not updates:
+        return base
+    try:
+        return replace(base if base is not None else ExecutionSpec(), **updates)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _parse_set_overrides(items: Optional[Sequence[str]]) -> Dict[str, Any]:
+    """Parse repeated ``--set key.path=value`` flags into an override mapping."""
+    parsed: Dict[str, Any] = {}
+    for item in items or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ConfigError(f"--set {item!r} must look like key.path=value")
+        parsed[key.strip()] = parse_grid_value(value.strip())
+    return parsed
 
 
 def _format_summary(name: str, result: SimulationResult) -> str:
@@ -447,18 +581,14 @@ def cmd_fleet_plan(args: argparse.Namespace, out=sys.stdout) -> int:
 
     try:
         planner = load_planner(args.config)
-        if args.overrides:
-            parsed: Dict[str, Any] = {}
-            for item in args.overrides:
-                key, sep, value = item.partition("=")
-                if not sep or not key.strip():
-                    raise ConfigError(f"--set {item!r} must look like key=value")
-                parsed[key.strip()] = parse_grid_value(value.strip())
+        parsed = _parse_set_overrides(args.overrides)
+        if parsed:
             planner = replace(planner, deployment=planner.deployment.with_overrides(parsed))
         if args.budget is not None:
             planner = replace(planner, budget=args.budget)
     except ConfigError as exc:
         raise SystemExit(f"error: {exc}") from None
+    execution = _resolve_execution(args, planner.execution)
     suffix = f" -- {planner.description}" if planner.description else ""
     print(f"planner {planner.name}{suffix}", file=out)
     print(f"base: {planner.deployment.describe()}", file=out)
@@ -479,7 +609,9 @@ def cmd_fleet_plan(args: argparse.Namespace, out=sys.stdout) -> int:
             )
         print("config OK (dry run, nothing simulated)", file=out)
         return 0
-    result = FleetPlanner(planner, jobs=args.jobs, cache_dir=args.cache).plan()
+    result = FleetPlanner(
+        planner, jobs=args.jobs, cache_dir=args.cache, execution=execution
+    ).plan()
     counters = (
         f"evaluated {result.num_evaluated} of {result.total_points} candidate(s), "
         f"pruned {result.num_pruned} as dominated"
@@ -746,20 +878,26 @@ def cmd_compare(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
-def _load_spec(args: argparse.Namespace) -> DeploymentSpec:
-    """Load the config file and apply any ``--set`` overrides; clean exits."""
+def _load_spec(args: argparse.Namespace):
+    """Load the config file and apply any ``--set`` overrides; clean exits.
+
+    Returns ``(spec, execution)``: the deployment plus the config's optional
+    top-level ``[execution]`` table (``None`` when absent).  ``run`` ignores
+    the execution block -- a single in-process simulation has nothing to
+    retry -- but tolerates it so one config works for every subcommand.
+    """
     try:
-        spec = DeploymentSpec.load(args.config)
-        overrides = getattr(args, "overrides", None)
-        if overrides:
-            parsed: Dict[str, Any] = {}
-            for item in overrides:
-                key, sep, value = item.partition("=")
-                if not sep or not key.strip():
-                    raise ConfigError(f"--set {item!r} must look like key.path=value")
-                parsed[key.strip()] = parse_grid_value(value.strip())
+        data = load_config_mapping(args.config)
+        execution = extract_execution(data, where=str(args.config))
+        try:
+            spec = DeploymentSpec.from_dict(data)
+        except ConfigError as exc:
+            # Same path-prefixed message DeploymentSpec.load would produce.
+            raise ConfigError(f"{args.config}: {exc}") from None
+        parsed = _parse_set_overrides(getattr(args, "overrides", None))
+        if parsed:
             spec = spec.with_overrides(parsed)
-        return spec
+        return spec, execution
     except ConfigError as exc:
         raise SystemExit(f"error: {exc}") from None
 
@@ -795,7 +933,7 @@ def _print_result(spec: DeploymentSpec, result: SimulationResult, out) -> None:
 
 
 def cmd_run(args: argparse.Namespace, out=sys.stdout) -> int:
-    spec = _load_spec(args)
+    spec, _ = _load_spec(args)
     try:
         prepared = build(spec)
     # TypeError covers free-form spec.system.options that the builder rejects.
@@ -841,36 +979,57 @@ def _write_sweep_output(
             writer.writerows(rows)
 
 
-def _run_grid_points(combos, axis_names: List[str], args: argparse.Namespace, out) -> int:
+def _run_grid_points(
+    combos,
+    axis_names: List[str],
+    args: argparse.Namespace,
+    out,
+    execution: Optional[ExecutionSpec] = None,
+) -> int:
     """Execute expanded ``(overrides, spec)`` points and print/write the table.
 
     Shared back-end of ``sweep`` and ``experiment``: points run through the
-    parallel, cached :class:`~repro.experiments.runner.SweepRunner`
-    (``--jobs`` / ``--cache``), results print in deterministic grid order, and
-    a failing point aborts with its override label -- or, under
-    ``--keep-going``, is reported and skipped in the output table.
+    parallel, cached, fault-tolerant
+    :class:`~repro.experiments.runner.SweepRunner` (``--jobs`` / ``--cache``
+    plus the ``execution`` knobs: timeout, retries, journal), results print in
+    deterministic grid order, and a failing point aborts with its override
+    label -- or, under ``--keep-going``, becomes a labelled error row (with
+    ``error_kind``/``attempts`` columns) in the output table.
     """
-    from repro.experiments.runner import SweepRunner, TABLE_METRICS, table_row
+    from repro.experiments.runner import (
+        TABLE_METRICS,
+        SweepRunner,
+        degradation_report,
+        format_degradation,
+        result_table_row,
+    )
 
     keep_going = args.keep_going
     runner = SweepRunner(
-        jobs=args.jobs, cache_dir=args.cache, stop_on_error=not keep_going
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        stop_on_error=not keep_going,
+        **(execution.runner_kwargs() if execution is not None else {}),
     )
     results = runner.run(combos)
     rows: List[Dict[str, Any]] = []
     num_failed = 0
     for res in results:
-        if res.skipped:
+        if res.skipped and res.error_kind != "cancelled":
             continue
+        retried = f"  [retried x{res.attempts - 1}]" if res.attempts > 1 else ""
         if res.error is not None:
             if not keep_going:
                 raise SystemExit(f"error: sweep point {res.label}: {res.error}")
             num_failed += 1
-            print(f"  {res.label}: FAILED ({res.error})", file=out)
+            kind = f" [{res.error_kind}]" if res.error_kind else ""
+            print(f"  {res.label}: FAILED{kind} ({res.error}){retried}", file=out)
+            rows.append(result_table_row(res))
             continue
-        rows.append(table_row(res.overrides, res.row))
+        rows.append(result_table_row(res))
         row = res.row
         cached = "  [cached]" if res.cached else ""
+        resumed = "  [resumed]" if res.resumed else ""
         truncated = (
             f"  [TRUNCATED: {row.get('truncation_reason') or 'unknown'}]"
             if row.get("truncated")
@@ -879,13 +1038,19 @@ def _run_grid_points(combos, axis_names: List[str], args: argparse.Namespace, ou
         print(
             f"  {res.label}: mean {row['mean_normalized_latency']:.4f} s/tok, "
             f"p95 TTFT {row['p95_ttft']:.3f}s, {row['throughput_tokens_per_s']:.1f} tok/s, "
-            f"goodput {row['goodput_rps']:.2f} req/s{cached}{truncated}",
+            f"goodput {row['goodput_rps']:.2f} req/s{cached}{resumed}{retried}{truncated}",
             file=out,
         )
     if args.out:
-        fieldnames = axis_names + list(TABLE_METRICS) + ["num_dropped", "truncated"]
+        fieldnames = (
+            axis_names
+            + list(TABLE_METRICS)
+            + ["num_dropped", "truncated", "error_kind", "attempts"]
+        )
         _write_sweep_output(rows, args.out, args.format, fieldnames=fieldnames)
         print(f"wrote {len(rows)} row(s) to {args.out}", file=out)
+    if keep_going:
+        print(f"degradation: {format_degradation(degradation_report(results))}", file=out)
     if num_failed:
         print(
             f"{num_failed} of {len(results)} point(s) failed (see FAILED lines above)",
@@ -896,7 +1061,7 @@ def _run_grid_points(combos, axis_names: List[str], args: argparse.Namespace, ou
 
 
 def cmd_sweep(args: argparse.Namespace, out=sys.stdout) -> int:
-    spec = _load_spec(args)
+    spec, execution = _load_spec(args)
     try:
         axes = dict(parse_grid_axis(axis) for axis in (args.grid or []))
         combos = expand_grid(spec, axes)
@@ -908,7 +1073,9 @@ def cmd_sweep(args: argparse.Namespace, out=sys.stdout) -> int:
         f"({', '.join(axis_names) if axis_names else 'no grid axes'})",
         file=out,
     )
-    return _run_grid_points(combos, axis_names, args, out)
+    return _run_grid_points(
+        combos, axis_names, args, out, execution=_resolve_execution(args, execution)
+    )
 
 
 def cmd_experiment(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -934,7 +1101,65 @@ def cmd_experiment(args: argparse.Namespace, out=sys.stdout) -> int:
             print(f"  {overrides_label(overrides)}", file=out)
         print("config OK (dry run, nothing simulated)", file=out)
         return 0
-    return _run_grid_points(combos, axis_names, args, out)
+    return _run_grid_points(
+        combos,
+        axis_names,
+        args,
+        out,
+        execution=_resolve_execution(args, experiment.execution),
+    )
+
+
+def cmd_figures(args: argparse.Namespace, out=sys.stdout) -> int:
+    """``repro figures``: resumable one-command regeneration of every study."""
+    from repro.experiments.figures import discover_configs, run_figures, summarize_point
+
+    try:
+        if args.configs:
+            configs = [Path(c) for c in args.configs]
+        else:
+            configs = discover_configs(args.configs_dir)
+        if not configs:
+            raise ConfigError(
+                f"no .toml/.json study configs found under {args.configs_dir!r}"
+            )
+        overrides = _parse_set_overrides(args.overrides)
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if not 0.0 <= args.min_success <= 1.0:
+        raise SystemExit(
+            f"error: --min-success must be within [0, 1], got {args.min_success!r}"
+        )
+    execution = _resolve_execution(args, None)
+    print(f"regenerating {len(configs)} config(s)", file=out)
+    try:
+        report = run_figures(
+            configs,
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            execution=execution,
+            overrides=overrides,
+            out_dir=args.out_dir,
+        )
+    except ConfigError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    for run in report.runs:
+        print(f"== {run.config} [{run.kind}] {run.name}", file=out)
+        for res in run.results:
+            print(f"  {summarize_point(res)}", file=out)
+    if args.out_dir:
+        print(f"wrote {len(report.runs)} artifact(s) under {args.out_dir}", file=out)
+    print(f"degradation: {report.format()}", file=out)
+    fraction = report.success_fraction
+    if fraction < args.min_success:
+        print(
+            f"error: success fraction {fraction:.1%} below "
+            f"--min-success {args.min_success:.1%}",
+            file=out,
+        )
+        return 1
+    print(f"success fraction {fraction:.1%} (min {args.min_success:.1%})", file=out)
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -1020,6 +1245,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return cmd_sweep(args, out)
     if args.command == "experiment":
         return cmd_experiment(args, out)
+    if args.command == "figures":
+        return cmd_figures(args, out)
     if args.command == "lint":
         return cmd_lint(args, out)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover

@@ -156,6 +156,126 @@ def _validate_cluster_kind(kind: str, where: str) -> None:
     )
 
 
+# ------------------------------------------------------------- execution spec
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How experiment points *execute*, as distinct from what they simulate.
+
+    An optional top-level ``[execution]`` table in sweep / experiment /
+    planner configs (and ``--timeout`` / ``--retries`` / ``--resume`` on the
+    CLI) configures the fault-tolerance layer of
+    :class:`~repro.experiments.runner.SweepRunner`:
+
+    ``task_timeout``
+        Wall-clock bound in seconds per point; a point that exceeds it is
+        booked as an ``error_kind="timeout"`` result instead of hanging the
+        sweep.
+    ``max_retries``
+        How many times a crashed / timed-out point is re-submitted before its
+        failure is final.  Retries re-send the identical payload, so a retry
+        that succeeds produces the same row a clean run would have.
+    ``backoff_base``
+        Base of the deterministic exponential backoff between retries of the
+        same point (``backoff_base * 2**(failures-1)`` seconds; no jitter, so
+        reruns schedule identically).
+    ``journal``
+        Path of an append-only JSONL run journal recording every completed and
+        errored point; re-running with the same journal resumes instead of
+        recomputing.
+
+    Deliberately *not* part of :class:`DeploymentSpec`: execution knobs never
+    change what a point computes, so they must not perturb spec hashes (cache
+    keys and journal keys stay stable whatever the timeout settings are).
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = 0
+    backoff_base: float = 0.5
+    journal: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None:
+            _check(
+                isinstance(self.task_timeout, (int, float))
+                and not isinstance(self.task_timeout, bool)
+                and float(self.task_timeout) > 0.0,
+                f"execution.task_timeout must be a number > 0 or null, "
+                f"got {self.task_timeout!r}",
+            )
+            object.__setattr__(self, "task_timeout", float(self.task_timeout))
+        _check(
+            isinstance(self.max_retries, int)
+            and not isinstance(self.max_retries, bool)
+            and self.max_retries >= 0,
+            f"execution.max_retries must be an integer >= 0, got {self.max_retries!r}",
+        )
+        _check(
+            isinstance(self.backoff_base, (int, float))
+            and not isinstance(self.backoff_base, bool)
+            and float(self.backoff_base) >= 0.0,
+            f"execution.backoff_base must be a number >= 0, got {self.backoff_base!r}",
+        )
+        object.__setattr__(self, "backoff_base", float(self.backoff_base))
+        if self.journal is not None:
+            _check(
+                isinstance(self.journal, str) and bool(self.journal),
+                f"execution.journal must be a non-empty path or null, got {self.journal!r}",
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task_timeout": self.task_timeout,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "journal": self.journal,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionSpec":
+        _check(
+            isinstance(data, Mapping),
+            f"execution spec must be a mapping, got {type(data).__name__}",
+        )
+        _reject_unknown_keys(cls, data, "[execution]")
+        return cls(
+            task_timeout=data.get("task_timeout"),
+            max_retries=data.get("max_retries", 0),
+            backoff_base=data.get("backoff_base", 0.5),
+            journal=data.get("journal"),
+        )
+
+    def runner_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for :class:`~repro.experiments.runner.SweepRunner`."""
+        return {
+            "task_timeout": self.task_timeout,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "journal": self.journal,
+        }
+
+
+def extract_execution(
+    data: Dict[str, Any], where: str = "config"
+) -> Optional[ExecutionSpec]:
+    """Pop and parse an optional top-level ``execution`` section in place.
+
+    Config loaders call this *before* handing ``data`` to a spec ``from_dict``
+    whose unknown-key validation would otherwise reject the section.
+    """
+    raw = data.pop("execution", None)
+    if raw is None:
+        return None
+    if isinstance(raw, ExecutionSpec):
+        return raw
+    if not isinstance(raw, Mapping):
+        raise ConfigError(
+            f"{where}: execution must be a mapping, got {type(raw).__name__}"
+        )
+    return ExecutionSpec.from_dict(raw)
+
+
 # ------------------------------------------------------------------ leaf specs
 
 

@@ -24,10 +24,12 @@ Sec. 7.4  :func:`repro.experiments.accuracy.run_modeling_accuracy`,
           :func:`repro.experiments.search_overhead.run_search_overhead`
 ========  =============================================================
 
-Grids of independent points execute through the parallel, cached
-:class:`repro.experiments.runner.SweepRunner`; whole spec-driven studies
-(base deployment + grid axes in one TOML/JSON file) run through
-:mod:`repro.experiments.driver`.
+Grids of independent points execute through the parallel, cached,
+fault-tolerant :class:`repro.experiments.runner.SweepRunner`; whole
+spec-driven studies (base deployment + grid axes in one TOML/JSON file) run
+through :mod:`repro.experiments.driver`; ``repro figures``
+(:mod:`repro.experiments.figures`) regenerates every checked-in study config
+in one resumable command.
 """
 
 from repro.experiments import (  # noqa: F401
@@ -45,6 +47,7 @@ from repro.experiments import (  # noqa: F401
     ablation,
     runner,
     driver,
+    figures,
 )
 
 __all__ = [
@@ -62,4 +65,5 @@ __all__ = [
     "ablation",
     "runner",
     "driver",
+    "figures",
 ]

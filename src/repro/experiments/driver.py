@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.config import (
     ConfigError,
     DeploymentSpec,
+    ExecutionSpec,
     expand_grid,
     load_config_mapping,
 )
@@ -44,18 +45,32 @@ _EXPERIMENT_KEYS = ("name", "description", "grid")
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """A named study: base deployment plus the grid axes swept over it."""
+    """A named study: base deployment plus the grid axes swept over it.
+
+    ``execution`` (an optional top-level ``[execution]`` table in the config)
+    carries fault-tolerance knobs -- timeout, retries, journal -- for the
+    runner; it never affects what the points compute.
+    """
 
     name: str
     base: DeploymentSpec
     grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
     description: str = ""
+    execution: Optional[ExecutionSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
             raise ConfigError("experiment.name must be a non-empty string")
         if not isinstance(self.base, DeploymentSpec):
             raise ConfigError("experiment deployment must be a DeploymentSpec")
+        if self.execution is not None and not isinstance(self.execution, ExecutionSpec):
+            if isinstance(self.execution, Mapping):
+                object.__setattr__(self, "execution", ExecutionSpec.from_dict(self.execution))
+            else:
+                raise ConfigError(
+                    "experiment execution must be an ExecutionSpec or a mapping, "
+                    f"got {type(self.execution).__name__}"
+                )
         # Expanding validates every override path and every produced spec, so
         # a bad grid fails at load time with the offending combination named.
         # The expansion is kept (a non-field attribute on this frozen
@@ -91,11 +106,11 @@ class ExperimentSpec:
             raise ConfigError(
                 f"experiment config must be a mapping, got {type(data).__name__}"
             )
-        unknown = sorted(set(data) - {"experiment", "deployment"})
+        unknown = sorted(set(data) - {"experiment", "deployment", "execution"})
         if unknown:
             raise ConfigError(
                 f"unknown top-level key(s) {', '.join(map(repr, unknown))} in "
-                "experiment config; expected: experiment, deployment"
+                "experiment config; expected: experiment, deployment, execution"
             )
         exp = data.get("experiment")
         if not isinstance(exp, Mapping):
@@ -128,6 +143,7 @@ class ExperimentSpec:
             description=str(exp.get("description", "")),
             base=DeploymentSpec.from_dict(deployment),
             grid=tuple(grid),
+            execution=data.get("execution"),
         )
 
 
@@ -167,9 +183,20 @@ def run_experiment(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     stop_on_error: bool = True,
+    execution: Optional[ExecutionSpec] = None,
 ) -> ExperimentRun:
-    """Execute an :class:`ExperimentSpec` (or a config file path) end to end."""
+    """Execute an :class:`ExperimentSpec` (or a config file path) end to end.
+
+    ``execution`` overrides the config's own ``[execution]`` block (that is
+    how the CLI's ``--timeout``/``--retries``/``--resume`` flags win).
+    """
     if not isinstance(experiment, ExperimentSpec):
         experiment = load_experiment(experiment)
-    runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, stop_on_error=stop_on_error)
+    effective = execution if execution is not None else experiment.execution
+    runner = SweepRunner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        stop_on_error=stop_on_error,
+        **(effective.runner_kwargs() if effective is not None else {}),
+    )
     return ExperimentRun(experiment=experiment, results=runner.run(experiment.expand()))

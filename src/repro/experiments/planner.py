@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.config import (
     ConfigError,
     DeploymentSpec,
+    ExecutionSpec,
     expand_grid,
     load_config_mapping,
 )
@@ -156,8 +157,17 @@ class PlannerSpec:
     population: int = 6
     inventory: Optional[Mapping[str, int]] = None
     description: str = ""
+    execution: Optional[ExecutionSpec] = None
 
     def __post_init__(self) -> None:
+        if self.execution is not None and not isinstance(self.execution, ExecutionSpec):
+            if isinstance(self.execution, Mapping):
+                object.__setattr__(self, "execution", ExecutionSpec.from_dict(self.execution))
+            else:
+                raise ConfigError(
+                    "planner execution must be an ExecutionSpec or a mapping, "
+                    f"got {type(self.execution).__name__}"
+                )
         if not isinstance(self.name, str) or not self.name:
             raise ConfigError("planner.name must be a non-empty string")
         if not isinstance(self.deployment, DeploymentSpec):
@@ -262,6 +272,7 @@ class PlannerSpec:
             "generations": self.generations,
             "population": self.population,
             "inventory": dict(self.inventory) if self.inventory is not None else None,
+            "execution": self.execution.to_dict() if self.execution is not None else None,
         }
 
     @classmethod
@@ -284,6 +295,7 @@ class PlannerSpec:
             "generations",
             "population",
             "inventory",
+            "execution",
         )
         unknown = sorted(set(data) - set(allowed))
         if unknown:
@@ -323,6 +335,7 @@ class PlannerSpec:
             generations=data.get("generations", 2),
             population=data.get("population", 6),
             inventory=dict(inventory) if inventory is not None else None,
+            execution=data.get("execution"),
         )
 
     @classmethod
@@ -335,11 +348,11 @@ class PlannerSpec:
             raise ConfigError(
                 f"planner config must be a mapping, got {type(data).__name__}"
             )
-        unknown = sorted(set(data) - {"planner", "deployment"})
+        unknown = sorted(set(data) - {"planner", "deployment", "execution"})
         if unknown:
             raise ConfigError(
                 f"unknown top-level key(s) {', '.join(map(repr, unknown))} in "
-                "planner config; expected: planner, deployment"
+                "planner config; expected: planner, deployment, execution"
             )
         planner = data.get("planner")
         if not isinstance(planner, Mapping):
@@ -354,6 +367,8 @@ class PlannerSpec:
             raise ConfigError("planner config needs a [deployment] section")
         merged: Dict[str, Any] = dict(planner)
         merged["deployment"] = deployment
+        if "execution" in data:
+            merged["execution"] = data.get("execution")
         return cls.from_dict(merged, default_name=default_name)
 
 
@@ -514,8 +529,18 @@ class SimulatorOracle:
     treats as evaluated-and-infeasible.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None) -> None:
-        self.runner = SweepRunner(jobs=jobs, cache_dir=cache_dir, stop_on_error=False)
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        execution: Optional[ExecutionSpec] = None,
+    ) -> None:
+        self.runner = SweepRunner(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            stop_on_error=False,
+            **(execution.runner_kwargs() if execution is not None else {}),
+        )
 
     def __call__(
         self, points: Sequence[Tuple[Mapping[str, Any], DeploymentSpec]]
@@ -767,12 +792,17 @@ class FleetPlanner:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         oracle: Optional[Callable[..., List[Dict[str, Any]]]] = None,
+        execution: Optional[ExecutionSpec] = None,
     ) -> None:
         if not isinstance(spec, PlannerSpec):
             raise TypeError(f"spec must be a PlannerSpec, got {type(spec).__name__}")
         self.spec = spec
-        self.oracle = (
-            oracle if oracle is not None else SimulatorOracle(jobs=jobs, cache_dir=cache_dir)
+        self.oracle = oracle if oracle is not None else SimulatorOracle(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            # CLI flags (an explicit execution) override the config's block;
+            # journaled searches resume exactly like journaled sweeps do.
+            execution=execution if execution is not None else spec.execution,
         )
 
     def plan(self) -> PlanResult:
@@ -787,14 +817,16 @@ def run_plan(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     budget: Optional[int] = None,
+    execution: Optional[ExecutionSpec] = None,
 ) -> PlanResult:
     """Execute a planner spec (or config file path) end to end.
 
     ``budget`` overrides the spec's evaluation budget (the ``--budget`` CLI
     flag); the replacement re-validates through ``__post_init__``.
+    ``execution`` overrides the config's ``[execution]`` block.
     """
     if not isinstance(planner, PlannerSpec):
         planner = load_planner(planner)
     if budget is not None:
         planner = replace(planner, budget=budget)
-    return FleetPlanner(planner, jobs=jobs, cache_dir=cache_dir).plan()
+    return FleetPlanner(planner, jobs=jobs, cache_dir=cache_dir, execution=execution).plan()

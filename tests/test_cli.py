@@ -288,10 +288,14 @@ def test_sweep_keep_going_writes_surviving_rows_and_reports(tmp_path):
     assert code == 1
     assert text.count("FAILED") >= 2
     assert "2 of 2 point(s) failed" in text
+    assert "degradation: 0 ok / 2 errored / 0 timed out / 0 retried" in text
     lines = out_csv.read_text().strip().splitlines()
-    # zero surviving rows still emit the axis + metric header
-    assert len(lines) == 1
+    # failed points still land in the table as auditable error rows
+    assert len(lines) == 3
     assert lines[0].startswith("system.options.bogus,mean_normalized_latency")
+    assert lines[0].endswith("error_kind,attempts")
+    for row in lines[1:]:
+        assert row.endswith("exception,1")
 
 
 def test_write_sweep_output_zero_rows_emits_header(tmp_path):
@@ -455,8 +459,10 @@ def test_sweep_rows_flag_truncation(tmp_path):
     assert code == 0
     assert "[TRUNCATED: max_simulated_time]" in text
     header, row = out.read_text().splitlines()[:2]
-    assert header.split(",")[-1] == "truncated"
-    assert row.split(",")[-1] == "True"
+    assert header.split(",")[-4:] == ["num_dropped", "truncated", "error_kind", "attempts"]
+    assert row.split(",")[-3] == "True"
+    # clean points carry the execution-audit columns too: no error, 1 attempt
+    assert row.split(",")[-2:] == ["", "1"]
 
 
 # --- repro plan <config>: the SLO-aware fleet planner --------------------
@@ -563,4 +569,89 @@ def test_fleet_plan_rejects_bad_config_cleanly(tmp_path):
 def test_fleet_plan_rejects_bad_set_flag(tmp_path):
     with pytest.raises(SystemExit) as excinfo:
         run_cli(["plan", write_planner_config(tmp_path), "--set", "nonsense"])
-    assert "must look like key=value" in str(excinfo.value)
+    assert "must look like key.path=value" in str(excinfo.value)
+
+
+# --- fault-tolerance flags and repro figures -----------------------------
+
+
+def test_sweep_resume_journal_skips_completed_points(tmp_path):
+    journal = tmp_path / "run.journal"
+    args = ["sweep", write_config(tmp_path), "--grid", "workload.seed=0,1",
+            "--resume", str(journal)]
+    code1, text1 = run_cli(args)
+    assert code1 == 0
+    assert len(journal.read_text().splitlines()) == 2
+    code2, text2 = run_cli(args)
+    assert code2 == 0
+    assert text2.count("[resumed]") == 2
+    # resumed rows are bit-identical to the freshly computed ones
+    assert text2.replace("  [resumed]", "") == text1
+
+
+def test_sweep_execution_config_block_and_flag_override(tmp_path):
+    config = dict(BASE_CONFIG)
+    config["execution"] = {"max_retries": 1, "journal": str(tmp_path / "cfg.journal")}
+    args = ["sweep", write_config(tmp_path, config)]
+    code, _ = run_cli(args)
+    assert code == 0
+    assert (tmp_path / "cfg.journal").exists()
+    # the CLI flag wins over the config block, field by field
+    code, _ = run_cli(args + ["--resume", str(tmp_path / "flag.journal")])
+    assert code == 0
+    assert (tmp_path / "flag.journal").exists()
+
+
+def test_run_tolerates_execution_block(tmp_path):
+    config = dict(BASE_CONFIG)
+    config["execution"] = {"task_timeout": 60.0}
+    code, text = run_cli(["run", write_config(tmp_path, config), "--dry-run"])
+    assert code == 0
+    assert "config OK" in text
+
+
+def test_sweep_rejects_bad_execution_block(tmp_path):
+    config = dict(BASE_CONFIG)
+    config["execution"] = {"task_timeout": -1}
+    with pytest.raises(SystemExit, match="task_timeout"):
+        main(["sweep", write_config(tmp_path, config)], out=io.StringIO())
+
+
+def test_sweep_rejects_bad_timeout_flag(tmp_path):
+    with pytest.raises(SystemExit, match="task_timeout"):
+        main(["sweep", write_config(tmp_path), "--timeout", "-5"], out=io.StringIO())
+
+
+def test_figures_regenerates_explicit_configs_with_journal(tmp_path):
+    journal = tmp_path / "figures.journal"
+    config = write_config(tmp_path, name="study.json")
+    args = ["figures", config, "--resume", str(journal),
+            "--out-dir", str(tmp_path / "out")]
+    code, text = run_cli(args)
+    assert code == 0
+    assert "degradation: 1 ok / 0 errored / 0 timed out / 0 retried" in text
+    assert "success fraction 100.0%" in text
+    assert (tmp_path / "out" / "study.csv").exists()
+    # second run resumes from the journal instead of recomputing
+    code, text = run_cli(args)
+    assert code == 0
+    assert "[resumed]" in text
+
+
+def test_figures_degrades_on_invalid_config_and_min_success_gates(tmp_path):
+    good = write_config(tmp_path, name="good.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"model": "no-such-model"}')
+    args = ["figures", good, str(bad)]
+    code, text = run_cli(args)
+    assert code == 1
+    assert "FAILED" in text
+    assert "success fraction 50.0%" in text
+    # a permissive threshold lets the degraded regeneration pass
+    code, text = run_cli(args + ["--min-success", "0.5"])
+    assert code == 0
+
+
+def test_figures_empty_configs_dir_fails_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="no .toml/.json study configs"):
+        main(["figures", "--configs-dir", str(tmp_path)], out=io.StringIO())

@@ -519,3 +519,75 @@ class TestFailureSpec:
         assert not flipped.elasticity.migration
         with pytest.raises(ConfigError, match="migration_bandwidth_gbps"):
             ElasticitySpec(migration_bandwidth_gbps=0.0)
+
+
+class TestExecutionSpec:
+    """The [execution] fault-tolerance block: parsing, validation, isolation."""
+
+    def test_defaults_and_round_trip(self):
+        from repro.config import ExecutionSpec
+
+        spec = ExecutionSpec()
+        assert spec.task_timeout is None and spec.max_retries == 0
+        assert spec.backoff_base == 0.5 and spec.journal is None
+        full = ExecutionSpec(
+            task_timeout=30, max_retries=2, backoff_base=1, journal="run.journal"
+        )
+        assert ExecutionSpec.from_dict(full.to_dict()) == full
+        # numeric fields coerce to float so TOML ints and floats compare equal
+        assert isinstance(full.task_timeout, float)
+        assert isinstance(full.backoff_base, float)
+
+    def test_validation_rejects_bad_values(self):
+        from repro.config import ExecutionSpec
+
+        with pytest.raises(ConfigError, match="task_timeout"):
+            ExecutionSpec(task_timeout=0)
+        with pytest.raises(ConfigError, match="max_retries"):
+            ExecutionSpec(max_retries=-1)
+        with pytest.raises(ConfigError, match="backoff_base"):
+            ExecutionSpec(backoff_base=-0.1)
+        with pytest.raises(ConfigError, match="journal"):
+            ExecutionSpec(journal="")
+        with pytest.raises(ConfigError, match="unknown"):
+            ExecutionSpec.from_dict({"retries": 3})
+
+    def test_extract_execution_pops_in_place(self):
+        from repro.config import ExecutionSpec, extract_execution
+
+        data = {"model": "llama-13b", "execution": {"max_retries": 1}}
+        spec = extract_execution(data)
+        assert spec == ExecutionSpec(max_retries=1)
+        assert "execution" not in data
+        assert extract_execution({"model": "llama-13b"}) is None
+        with pytest.raises(ConfigError, match="execution must be a mapping"):
+            extract_execution({"execution": [1, 2]})
+
+    def test_execution_never_perturbs_spec_hashes(self, tmp_path):
+        """Execution knobs change how points run, never what they compute."""
+        from repro.config import extract_execution, load_config_mapping
+        from repro.experiments.runner import ResultCache
+
+        path = tmp_path / "deploy.json"
+        base = {"model": "llama-13b", "cluster": {"kind": "small"}}
+        path.write_text(json.dumps(base))
+        plain = DeploymentSpec.from_dict(load_config_mapping(path))
+        path.write_text(json.dumps({**base, "execution": {"task_timeout": 5.0}}))
+        data = load_config_mapping(path)
+        extract_execution(data)
+        with_exec = DeploymentSpec.from_dict(data)
+        assert plain == with_exec
+        assert ResultCache.key("deployment", plain.to_dict()) == ResultCache.key(
+            "deployment", with_exec.to_dict()
+        )
+
+    def test_runner_kwargs_match_sweeprunner_signature(self):
+        from repro.config import ExecutionSpec
+        from repro.experiments.runner import SweepRunner
+
+        spec = ExecutionSpec(task_timeout=10.0, max_retries=3, backoff_base=0.1)
+        runner = SweepRunner(**spec.runner_kwargs())
+        assert runner.task_timeout == 10.0
+        assert runner.max_retries == 3
+        assert runner.backoff_base == 0.1
+        assert runner.journal is None
